@@ -1,0 +1,132 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not figures of the paper, but sanity experiments a reviewer would ask for:
+
+* private vs. plaintext engine — the cryptographic overhead per window;
+* battery ablation — how much the greedy battery policy changes the market;
+* price-band ablation — widening [pl, ph] changes prices but preserves
+  individual rationality.
+"""
+
+import pytest
+from conftest import run_once, scaled
+
+from repro.analysis import render_table
+from repro.analysis.experiments import default_dataset, sample_market_windows
+from repro.core import MarketParameters, PlainTradingEngine, PrivateTradingEngine, ProtocolConfig
+from repro.core.agent import NoBatteryPolicy
+from repro.core.incentives import check_individual_rationality
+
+HOME_COUNT = scaled(16, 50, 100)
+WINDOWS = scaled(2, 4, 8)
+
+
+def test_ablation_private_vs_plain_overhead(benchmark):
+    dataset = default_dataset(300, 720, 2020)
+    windows = sample_market_windows(dataset, HOME_COUNT, WINDOWS)
+
+    def run_private():
+        engine = PrivateTradingEngine(
+            config=ProtocolConfig(key_size=256, key_pool_size=4, seed=7)
+        )
+        return engine.run_windows(dataset, windows, home_count=HOME_COUNT)
+
+    traces = run_once(benchmark, run_private)
+    plain_day = PlainTradingEngine().run_day(dataset, home_count=HOME_COUNT, windows=windows)
+
+    rows = []
+    for trace, plain in zip(traces, plain_day.windows):
+        rows.append(
+            {
+                "window": trace.result.window,
+                "price_private": trace.result.clearing_price,
+                "price_plain": plain.clearing_price,
+                "protocol_runtime_s": trace.simulated_runtime_seconds,
+                "protocol_KB": trace.protocol_bandwidth_bytes / 1024,
+            }
+        )
+    print()
+    print(render_table(rows, title=f"Ablation: private vs. plain engine ({HOME_COUNT} agents)"))
+
+    for trace, plain in zip(traces, plain_day.windows):
+        assert trace.result.clearing_price == pytest.approx(plain.clearing_price, abs=1e-2)
+        assert trace.simulated_runtime_seconds > 0
+
+
+def test_ablation_battery_policy(benchmark):
+    dataset = default_dataset(300, 720, 2020)
+
+    def run_both():
+        engine = PlainTradingEngine()
+        with_battery = engine.run_day(dataset, home_count=HOME_COUNT)
+        without_battery = engine.run_day(
+            dataset, home_count=HOME_COUNT, battery_policy=NoBatteryPolicy()
+        )
+        return with_battery, without_battery
+
+    with_battery, without_battery = run_once(benchmark, run_both)
+    print()
+    print(
+        render_table(
+            [
+                {
+                    "config": "greedy battery",
+                    "avg_saving": with_battery.average_cost_saving_fraction(),
+                    "traded_windows": sum(1 for w in with_battery.windows if w.clearing),
+                },
+                {
+                    "config": "no battery",
+                    "avg_saving": without_battery.average_cost_saving_fraction(),
+                    "traded_windows": sum(1 for w in without_battery.windows if w.clearing),
+                },
+            ],
+            title="Ablation: battery policy",
+            float_format="{:.4f}",
+        )
+    )
+    assert len(with_battery) == len(without_battery)
+    # Individual rationality holds regardless of the battery policy.
+    for window in list(with_battery.windows)[:: max(1, len(with_battery.windows) // 20)]:
+        assert check_individual_rationality(window).holds
+
+
+def test_ablation_price_band(benchmark):
+    dataset = default_dataset(300, 720, 2020)
+    narrow = MarketParameters(
+        retail_price=120.0, feed_in_price=80.0, price_lower_bound=90.0, price_upper_bound=110.0
+    )
+    wide = MarketParameters(
+        retail_price=120.0, feed_in_price=80.0, price_lower_bound=82.0, price_upper_bound=118.0
+    )
+
+    def run_both():
+        return (
+            PlainTradingEngine(narrow).run_day(dataset, home_count=HOME_COUNT),
+            PlainTradingEngine(wide).run_day(dataset, home_count=HOME_COUNT),
+        )
+
+    narrow_day, wide_day = run_once(benchmark, run_both)
+    rows = [
+        {
+            "band": "[90, 110] (paper)",
+            "mean_market_price": _mean_market_price(narrow_day, narrow),
+            "avg_saving": narrow_day.average_cost_saving_fraction(),
+        },
+        {
+            "band": "[82, 118]",
+            "mean_market_price": _mean_market_price(wide_day, wide),
+            "avg_saving": wide_day.average_cost_saving_fraction(),
+        },
+    ]
+    print()
+    print(render_table(rows, title="Ablation: acceptable price band", float_format="{:.4f}"))
+
+    # A wider band lets the price drop further, so buyers save at least as much.
+    assert wide_day.average_cost_saving_fraction() >= narrow_day.average_cost_saving_fraction() - 1e-9
+    for window in list(wide_day.windows)[:: max(1, len(wide_day.windows) // 20)]:
+        assert check_individual_rationality(window).holds
+
+
+def _mean_market_price(day, params):
+    market_prices = [w.clearing_price for w in day.windows if w.clearing is not None]
+    return sum(market_prices) / len(market_prices) if market_prices else params.retail_price

@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the cryptographic primitives.
+
+Not a figure of the paper, but the primitive costs underlying Figure 5:
+Paillier encryption/decryption/homomorphic addition at the paper's key
+sizes and the garbled-circuit secure comparison used by Protocol 2.
+"""
+
+import random
+
+import pytest
+from conftest import scaled
+
+from repro.crypto import generate_keypair, secure_greater_than
+
+KEY_SIZES = scaled((256, 512), (512, 1024), (512, 1024, 2048))
+
+
+@pytest.fixture(scope="module")
+def keypairs():
+    return {bits: generate_keypair(bits, random.Random(bits)) for bits in KEY_SIZES}
+
+
+@pytest.mark.parametrize("bits", KEY_SIZES)
+def test_paillier_encrypt(benchmark, keypairs, bits):
+    public = keypairs[bits].public_key
+    benchmark(lambda: public.encrypt(123456789))
+
+
+@pytest.mark.parametrize("bits", KEY_SIZES)
+def test_paillier_decrypt(benchmark, keypairs, bits):
+    keypair = keypairs[bits]
+    ciphertext = keypair.public_key.encrypt(123456789)
+    assert benchmark(lambda: keypair.private_key.decrypt(ciphertext)) == 123456789
+
+
+@pytest.mark.parametrize("bits", KEY_SIZES)
+def test_paillier_homomorphic_add(benchmark, keypairs, bits):
+    keypair = keypairs[bits]
+    a = keypair.public_key.encrypt(1000)
+    b = keypair.public_key.encrypt(-300)
+    result = benchmark(lambda: a + b)
+    assert keypair.private_key.decrypt(result) == 700
+
+
+@pytest.mark.parametrize("bit_width", (32, 64))
+def test_garbled_secure_comparison(benchmark, bit_width):
+    rng = random.Random(bit_width)
+    result = benchmark(
+        lambda: secure_greater_than(2**bit_width - 2, 2**bit_width - 3, bit_width=bit_width, rng=rng)
+    )
+    assert result.result is True

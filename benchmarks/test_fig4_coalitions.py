@@ -1,0 +1,41 @@
+"""Figure 4 — seller/buyer coalition sizes over the 720 trading windows.
+
+Paper: with 200 smart homes, the buyer coalition starts near the full
+population in the early morning, shrinks toward midday as homes with PV
+surplus switch into the seller coalition, and grows back in the evening;
+the seller coalition mirrors that, peaking midday.  Roles change over time.
+"""
+
+from conftest import run_once, scaled
+
+from repro.analysis import experiment_fig4_coalitions, render_series
+
+
+def test_fig4_coalition_sizes(benchmark):
+    home_count = scaled(40, 200, 200)
+    window_count = 720  # always the full trading day so the day-edge shape assertions hold
+
+    series = run_once(
+        benchmark, experiment_fig4_coalitions, home_count=home_count, window_count=window_count
+    )
+
+    print()
+    print(
+        render_series(
+            f"Figure 4: coalition sizes ({home_count} smart homes, {window_count} windows)",
+            series.windows,
+            {"sellers": series.seller_sizes, "buyers": series.buyer_sizes},
+            float_format="{:.0f}",
+        )
+    )
+    print(
+        f"max seller coalition: {series.max_seller_size}   "
+        f"max buyer coalition: {series.max_buyer_size}"
+    )
+
+    # Shape assertions mirroring the paper's figure.
+    assert series.max_buyer_size == home_count  # early morning: everyone buys
+    assert 0 < series.max_seller_size < home_count
+    assert series.seller_sizes[0] == 0  # no PV output at 7:00 AM
+    midday = len(series.windows) // 2
+    assert series.seller_sizes[midday] > series.seller_sizes[10]

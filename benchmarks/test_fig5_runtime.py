@@ -1,0 +1,119 @@
+"""Figure 5(a)-(c) — protocol runtime scaling.
+
+Paper (CloudLab ARM server, one Docker container per agent):
+
+* Fig. 5(a): the average runtime of a single trading window is ~1 second,
+  roughly flat in the number of trading windows, for 100/200/300 agents;
+* Fig. 5(b): the total runtime over m windows grows linearly in m and does
+  not depend on the Paillier key size (encryption/decryption are pipelined
+  during idle time);
+* Fig. 5(c): the total runtime over 720 windows grows moderately with the
+  number of agents (~600-900 s from 100 to 300 agents).
+
+Here the protocols are executed with real (small-key) cryptography to count
+operations and messages exactly, and the reported runtime is the calibrated
+cost model's critical-path time for the target key size (see DESIGN.md).
+"""
+
+import pytest
+from conftest import run_once, scaled
+
+from repro.analysis import experiment_fig5_runtime, render_table
+
+HOME_COUNTS = scaled((12, 24), (100, 200, 300), (100, 200, 300))
+KEY_SIZES = (512, 1024, 2048)
+SAMPLE_COUNT = scaled(2, 3, 6)
+WINDOW_SWEEP = (120, 240, 360, 480, 600, 720)
+
+
+@pytest.fixture(scope="module")
+def observations():
+    return experiment_fig5_runtime(
+        home_counts=HOME_COUNTS,
+        key_sizes=KEY_SIZES,
+        sample_count=SAMPLE_COUNT,
+        crypto_key_size=128,
+    )
+
+
+def test_fig5a_average_runtime_per_window(benchmark, observations):
+    def derive():
+        return [obs for obs in observations if obs.key_size == 2048]
+
+    per_n = run_once(benchmark, derive)
+    rows = []
+    for obs in per_n:
+        for window_count in WINDOW_SWEEP:
+            rows.append(
+                {
+                    "windows": window_count,
+                    "agents": obs.home_count,
+                    "avg_runtime_s": obs.average_window_seconds,
+                }
+            )
+    print()
+    print(render_table(rows, title="Figure 5(a): average per-window runtime (2048-bit)"))
+
+    # Shape: around a second per window, weakly increasing with the agent count.
+    for obs in per_n:
+        assert 0.3 < obs.average_window_seconds < 3.0
+    ordered = sorted(per_n, key=lambda o: o.home_count)
+    assert ordered[0].average_window_seconds <= ordered[-1].average_window_seconds
+
+
+def test_fig5b_total_runtime_vs_key_size(benchmark, observations):
+    reference_count = HOME_COUNTS[min(1, len(HOME_COUNTS) - 1)]
+
+    def derive():
+        return [obs for obs in observations if obs.home_count == reference_count]
+
+    per_key = run_once(benchmark, derive)
+    rows = []
+    for obs in per_key:
+        for window_count in WINDOW_SWEEP:
+            rows.append(
+                {
+                    "windows": window_count,
+                    "key_size": obs.key_size,
+                    "total_runtime_s": obs.average_window_seconds * window_count,
+                }
+            )
+    print()
+    print(
+        render_table(
+            rows,
+            title=f"Figure 5(b): total runtime vs. #windows ({reference_count} agents)",
+        )
+    )
+
+    # Shape: the key size barely affects the runtime (pipelined crypto).
+    runtimes = {obs.key_size: obs.average_window_seconds for obs in per_key}
+    assert max(runtimes.values()) / min(runtimes.values()) < 1.25
+    # Linear growth in the number of windows is built into the extrapolation.
+
+
+def test_fig5c_total_runtime_vs_agents(benchmark, observations):
+    def derive():
+        return sorted(observations, key=lambda o: (o.key_size, o.home_count))
+
+    ordered = run_once(benchmark, derive)
+    rows = [
+        {
+            "agents": obs.home_count,
+            "key_size": obs.key_size,
+            "total_runtime_720w_s": obs.total_day_seconds,
+        }
+        for obs in ordered
+    ]
+    print()
+    print(render_table(rows, title="Figure 5(c): total runtime for 720 windows vs. agents"))
+
+    # Shape: runtime increases with the agent count for every key size, and
+    # stays within the same order of magnitude as the paper's 600-900 s when
+    # run at the paper's agent counts.
+    for key_size in KEY_SIZES:
+        series = [obs for obs in ordered if obs.key_size == key_size]
+        assert series[0].total_day_seconds <= series[-1].total_day_seconds
+    if max(HOME_COUNTS) >= 300:
+        largest = [obs for obs in ordered if obs.home_count == max(HOME_COUNTS)]
+        assert 300 < min(o.total_day_seconds for o in largest) < 3000

@@ -1,0 +1,47 @@
+"""Figure 6(a) — the PEM trading price over the day vs. the fixed prices.
+
+Paper: the price equals the retail price ps_g = 120 early and late in the
+day (no sellers), drops into the PEM band [90, 110] as generation ramps,
+and is pinned at the lower bound in many midday windows.
+"""
+
+from conftest import run_once, scaled
+
+from repro.analysis import experiment_fig6a_price, render_series
+from repro.core import PAPER_PARAMETERS
+
+
+def test_fig6a_trading_price(benchmark):
+    home_count = scaled(40, 200, 200)
+    window_count = 720  # always the full trading day so the day-edge shape assertions hold
+
+    series = run_once(
+        benchmark, experiment_fig6a_price, home_count=home_count, window_count=window_count
+    )
+
+    print()
+    print(
+        render_series(
+            f"Figure 6(a): trading price ({home_count} smart homes)",
+            series.windows,
+            {
+                "price": series.prices,
+                "retail": [series.retail_price] * len(series.prices),
+                "feed_in": [series.feed_in_price] * len(series.prices),
+                "pl": [series.lower_bound] * len(series.prices),
+                "ph": [series.upper_bound] * len(series.prices),
+            },
+        )
+    )
+    print(
+        f"windows at retail price: {series.count_at_retail()}   "
+        f"in band: {series.count_in_band()}   at lower bound: {series.count_at_lower_bound()}"
+    )
+
+    # Shape assertions from the paper's discussion of Fig. 6(a).
+    assert series.prices[0] == PAPER_PARAMETERS.retail_price
+    assert series.prices[-1] == PAPER_PARAMETERS.retail_price
+    assert series.count_in_band() > 0
+    assert series.count_at_lower_bound() > 0
+    for price in series.prices:
+        assert price == PAPER_PARAMETERS.retail_price or PAPER_PARAMETERS.contains(price)

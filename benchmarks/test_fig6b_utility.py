@@ -1,0 +1,52 @@
+"""Figure 6(b) — utility of a representative seller with/without PEM.
+
+Paper: fixing the preference parameter (k = 20 and k = 40 for all sellers),
+the tracked sellers' utility with the PEM is above their utility when
+selling only to the main grid in every window where they sell.
+"""
+
+import math
+
+from conftest import run_once, scaled
+
+from repro.analysis import experiment_fig6b_utility, render_series
+
+
+def test_fig6b_seller_utility(benchmark):
+    home_count = scaled(20, 100, 100)
+    window_count = 720  # full trading day
+
+    comparisons = run_once(
+        benchmark,
+        experiment_fig6b_utility,
+        preference_values=(20.0, 40.0),
+        home_count=home_count,
+        window_count=window_count,
+    )
+
+    print()
+    for preference, comparison in comparisons.items():
+        cleaned = [
+            (w, wp, wo)
+            for w, wp, wo in zip(comparison.windows, comparison.with_pem, comparison.without_pem)
+            if not math.isnan(wp)
+        ]
+        if not cleaned:
+            continue
+        windows, with_pem, without_pem = zip(*cleaned)
+        print(
+            render_series(
+                f"Figure 6(b): utility of seller {comparison.agent_id} (k={preference:.0f})",
+                list(windows),
+                {"with_pem": list(with_pem), "without_pem": list(without_pem)},
+            )
+        )
+        print(f"mean utility improvement (k={preference:.0f}): {comparison.mean_improvement:.4f}")
+
+    # Shape assertions: PEM weakly dominates the grid-only baseline.
+    for comparison in comparisons.values():
+        for with_pem, without_pem in zip(comparison.with_pem, comparison.without_pem):
+            if math.isnan(with_pem):
+                continue
+            assert with_pem >= without_pem - 1e-9
+        assert comparison.mean_improvement >= 0.0

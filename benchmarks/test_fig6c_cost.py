@@ -1,0 +1,48 @@
+"""Figure 6(c) — total cost of the buyer coalition with/without PEM.
+
+Paper: for 100 and 200 agents, the buyer coalition's cost with the PEM is
+below the grid-only cost in every trading window, with an average midday
+saving around 25% (bounded by (ps_g - p*) / ps_g = 25% when the whole
+demand is served by the market).
+"""
+
+from conftest import run_once, scaled
+
+from repro.analysis import experiment_fig6c_cost, render_series
+from repro.analysis.experiments import run_plain_day
+from repro.analysis.metrics import average_cost_saving
+
+
+def test_fig6c_buyer_coalition_cost(benchmark):
+    home_counts = scaled((20, 40), (100, 200), (100, 200))
+    window_count = 720  # always the full trading day so the day-edge shape assertions hold
+
+    comparisons = run_once(
+        benchmark, experiment_fig6c_cost, home_counts=home_counts, window_count=window_count
+    )
+
+    print()
+    for count, comparison in comparisons.items():
+        print(
+            render_series(
+                f"Figure 6(c): buyer-coalition cost, {count} agents (cents per window)",
+                comparison.windows,
+                {"with_pem": comparison.with_pem, "without_pem": comparison.without_pem},
+            )
+        )
+        day = run_plain_day(count, window_count)
+        print(
+            f"{count} agents: overall saving {comparison.overall_saving_fraction:.1%}, "
+            f"average per-window saving {average_cost_saving(day):.1%} "
+            f"(market windows only: {average_cost_saving(day, market_windows_only=True):.1%})"
+        )
+
+    # Shape assertions from the paper: PEM never costs more, and midday
+    # windows reach the 25% bound implied by the price band.
+    for comparison in comparisons.values():
+        for with_pem, without_pem in zip(comparison.with_pem, comparison.without_pem):
+            assert with_pem <= without_pem + 1e-9
+        savings = [
+            (wo - wp) / wo for wp, wo in zip(comparison.with_pem, comparison.without_pem) if wo > 0
+        ]
+        assert max(savings) > 0.20

@@ -1,0 +1,44 @@
+"""Figure 6(d) — interaction with the main grid with/without PEM.
+
+Paper: because surplus energy is traded among the agents instead of being
+pushed to / pulled from the main grid, the total energy exchanged with the
+grid under PEM is far below the baseline, especially around midday.
+"""
+
+from conftest import run_once, scaled
+
+from repro.analysis import experiment_fig6d_grid_interaction, render_series
+
+
+def test_fig6d_grid_interaction(benchmark):
+    home_count = scaled(40, 200, 200)
+    window_count = 720  # always the full trading day so the day-edge shape assertions hold
+
+    comparison = run_once(
+        benchmark,
+        experiment_fig6d_grid_interaction,
+        home_count=home_count,
+        window_count=window_count,
+    )
+
+    print()
+    print(
+        render_series(
+            f"Figure 6(d): interaction with the main grid ({home_count} smart homes, kWh)",
+            comparison.windows,
+            {"with_pem": comparison.with_pem, "without_pem": comparison.without_pem},
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        f"total reduction: {comparison.total_reduction_kwh:.1f} kWh "
+        f"({comparison.reduction_fraction:.1%} of the baseline grid interaction)"
+    )
+
+    # Shape assertions: PEM never increases grid interaction and removes a
+    # substantial share of it over the day.
+    for with_pem, without_pem in zip(comparison.with_pem, comparison.without_pem):
+        assert with_pem <= without_pem + 1e-9
+    assert comparison.reduction_fraction > 0.10
+    midday = len(comparison.windows) // 2
+    assert comparison.with_pem[midday] < comparison.without_pem[midday]

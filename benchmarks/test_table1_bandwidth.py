@@ -1,0 +1,64 @@
+"""Table I — average bandwidth (MB) over m trading windows, per key size.
+
+Paper (200 smart homes): the average per-window bandwidth of the secure
+computation is essentially flat in the number of trading windows and grows
+with the Paillier key size (~0.45-0.55 MB at 512 bits, ~0.84-1.06 MB at
+1024 bits, ~1.87-2.20 MB at 2048 bits).
+
+Here the ciphertexts are produced with the *actual* key sizes, so the byte
+counts scale exactly as a deployment's would; see EXPERIMENTS.md for the
+measured-vs-paper comparison (the fixed garbled-circuit traffic makes our
+key-size scaling somewhat flatter than the paper's).
+"""
+
+from conftest import run_once, scaled
+
+from repro.analysis import experiment_table1_bandwidth, render_table
+
+KEY_SIZES = (512, 1024, 2048)
+WINDOW_SPANS = (300, 360, 420, 480, 540, 600, 660, 720)
+HOME_COUNT = scaled(24, 200, 200)
+SAMPLES = scaled({512: 1, 1024: 1, 2048: 1}, {512: 2, 1024: 1, 2048: 1}, {512: 4, 1024: 3, 2048: 2})
+
+
+def test_table1_average_bandwidth(benchmark):
+    observations = run_once(
+        benchmark,
+        experiment_table1_bandwidth,
+        key_sizes=KEY_SIZES,
+        window_spans=WINDOW_SPANS,
+        home_count=HOME_COUNT,
+        samples_per_key_size=SAMPLES,
+    )
+
+    rows = [
+        {
+            "key_size": obs.key_size,
+            "m": obs.window_span,
+            "avg_bandwidth_MB": obs.average_window_megabytes,
+            "per_home_KB": obs.per_home_kilobytes,
+        }
+        for obs in observations
+    ]
+    print()
+    print(
+        render_table(
+            rows,
+            title=(
+                f"Table I: average per-window bandwidth of the secure computation "
+                f"({HOME_COUNT} smart homes)"
+            ),
+            float_format="{:.3f}",
+        )
+    )
+
+    by_key = {}
+    for obs in observations:
+        by_key.setdefault(obs.key_size, obs.average_window_megabytes)
+
+    # Shape assertions: flat in m (trivially true per key size because the
+    # per-window average is reported), strictly increasing in the key size,
+    # and in the sub-megabyte-to-few-megabytes range the paper reports.
+    assert by_key[512] < by_key[1024] < by_key[2048]
+    assert 0.01 < by_key[512] < 2.0
+    assert by_key[2048] < 6.0

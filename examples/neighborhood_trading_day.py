@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""A full trading day for a PV-heavy neighbourhood (the paper's Fig. 4/6 view).
+
+Runs the plaintext PEM engine over all 720 one-minute trading windows for a
+neighbourhood of 100 smart homes, then prints the coalition dynamics, the
+price trajectory and the with/without-PEM comparison of buyer costs, seller
+utility and grid interaction — the same quantities the paper's Figures 4
+and 6 plot.
+
+Run with:  python examples/neighborhood_trading_day.py [home_count]
+"""
+
+import sys
+
+from repro.analysis import (
+    average_cost_saving,
+    coalition_size_series,
+    cost_comparison,
+    grid_interaction_comparison,
+    price_series,
+    render_series,
+    seller_utility_comparison,
+)
+from repro.core import PAPER_PARAMETERS, PlainTradingEngine
+from repro.data import TraceConfig, generate_dataset
+
+
+def main() -> None:
+    home_count = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+
+    print(f"Generating synthetic Smart*-like traces for {home_count} homes ...")
+    dataset = generate_dataset(TraceConfig(home_count=home_count, window_count=720, seed=2020))
+
+    print("Running the PEM over 720 one-minute trading windows (7:00 AM - 7:00 PM) ...")
+    engine = PlainTradingEngine(PAPER_PARAMETERS)
+    day = engine.run_day(dataset)
+
+    coalitions = coalition_size_series(day)
+    prices = price_series(day, PAPER_PARAMETERS)
+    costs = cost_comparison(day)
+    grid = grid_interaction_comparison(day)
+
+    print()
+    print(
+        render_series(
+            "Coalition sizes over the day (cf. paper Fig. 4)",
+            coalitions.windows,
+            {"sellers": coalitions.seller_sizes, "buyers": coalitions.buyer_sizes},
+            float_format="{:.0f}",
+        )
+    )
+    print()
+    print(
+        render_series(
+            "Trading price over the day, cents/kWh (cf. paper Fig. 6a)",
+            prices.windows,
+            {"price": prices.prices},
+        )
+    )
+    print()
+    print(
+        render_series(
+            "Buyer-coalition cost per window, cents (cf. paper Fig. 6c)",
+            costs.windows,
+            {"with_pem": costs.with_pem, "without_pem": costs.without_pem},
+        )
+    )
+    print()
+    print(
+        render_series(
+            "Grid interaction per window, kWh (cf. paper Fig. 6d)",
+            grid.windows,
+            {"with_pem": grid.with_pem, "without_pem": grid.without_pem},
+            float_format="{:.3f}",
+        )
+    )
+
+    best_pv_home = max(dataset.homes, key=lambda h: h.profile.pv_capacity_kw)
+    utility = seller_utility_comparison(day, best_pv_home.profile.home_id)
+
+    print()
+    print("=== Summary ===")
+    print(f"windows with a PEM market          : {sum(1 for w in day.windows if w.clearing)}")
+    print(f"windows priced at the lower bound  : {prices.count_at_lower_bound()}")
+    print(f"overall buyer-coalition saving     : {costs.overall_saving_fraction:.1%}")
+    print(f"average per-window saving          : {average_cost_saving(day):.1%} "
+          f"({average_cost_saving(day, market_windows_only=True):.1%} over market windows)")
+    print(f"grid-interaction reduction         : {grid.reduction_fraction:.1%}")
+    print(f"largest-PV home ({best_pv_home.profile.home_id}) mean utility gain: "
+          f"{utility.mean_improvement:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Privacy Preserving Distributed Energy Trading".
+
+Reproduces the Private Energy Market (PEM) of Xie, Wang, Hong and Thai
+(ICDCS 2020): a privacy-preserving distributed energy-trading framework in
+which smart homes jointly compute a Stackelberg-optimal trading price and
+pairwise energy allocations using Paillier homomorphic encryption and
+garbled-circuit secure comparison, without a trusted third party.
+
+Packages:
+
+* :mod:`repro.crypto` — Paillier, garbled circuits, oblivious transfer,
+  fixed-point encoding (built from scratch on the standard library).
+* :mod:`repro.net` — simulated per-agent network with byte-accurate
+  bandwidth accounting and a calibrated runtime cost model.
+* :mod:`repro.data` — synthetic UMass Smart*-like generation/load traces.
+* :mod:`repro.core` — the PEM itself: agents, coalitions, the Stackelberg
+  game, market clearing, the plaintext reference engine, the cryptographic
+  Protocols 1-4, incentive analysis and the semi-honest privacy auditor.
+* :mod:`repro.blockchain` — consortium-chain settlement extension (§VI).
+* :mod:`repro.analysis` — experiment runners regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+from .core import (
+    MarketParameters,
+    PAPER_PARAMETERS,
+    PlainTradingEngine,
+    PrivateTradingEngine,
+    ProtocolConfig,
+    TradingDayResult,
+    WindowResult,
+)
+from .data import TraceConfig, TraceDataset, generate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MarketParameters",
+    "PAPER_PARAMETERS",
+    "PlainTradingEngine",
+    "PrivateTradingEngine",
+    "ProtocolConfig",
+    "TradingDayResult",
+    "WindowResult",
+    "TraceConfig",
+    "TraceDataset",
+    "generate_dataset",
+    "__version__",
+]

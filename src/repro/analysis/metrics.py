@@ -1,0 +1,203 @@
+"""Evaluation metrics derived from trading-day results.
+
+These are the quantities plotted in Figures 4 and 6 and summarized in the
+text of Section VII: coalition sizes, price trajectories, seller utility
+with/without PEM, buyer-coalition cost with/without PEM, relative cost
+savings, and interaction with the main grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.results import TradingDayResult
+
+__all__ = [
+    "CoalitionSizeSeries",
+    "PriceSeries",
+    "CostComparison",
+    "GridInteractionComparison",
+    "UtilityComparison",
+    "coalition_size_series",
+    "price_series",
+    "cost_comparison",
+    "grid_interaction_comparison",
+    "seller_utility_comparison",
+    "average_cost_saving",
+]
+
+
+@dataclass(frozen=True)
+class CoalitionSizeSeries:
+    """Per-window coalition sizes (Figure 4)."""
+
+    windows: List[int]
+    seller_sizes: List[int]
+    buyer_sizes: List[int]
+
+    @property
+    def max_seller_size(self) -> int:
+        return max(self.seller_sizes) if self.seller_sizes else 0
+
+    @property
+    def max_buyer_size(self) -> int:
+        return max(self.buyer_sizes) if self.buyer_sizes else 0
+
+
+@dataclass(frozen=True)
+class PriceSeries:
+    """Per-window clearing prices plus the fixed reference prices (Fig. 6a)."""
+
+    windows: List[int]
+    prices: List[float]
+    retail_price: float
+    feed_in_price: float
+    lower_bound: float
+    upper_bound: float
+
+    def count_at_lower_bound(self) -> int:
+        return sum(1 for p in self.prices if abs(p - self.lower_bound) < 1e-9)
+
+    def count_at_retail(self) -> int:
+        return sum(1 for p in self.prices if abs(p - self.retail_price) < 1e-9)
+
+    def count_in_band(self) -> int:
+        return sum(
+            1 for p in self.prices if self.lower_bound - 1e-9 <= p <= self.upper_bound + 1e-9
+        )
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Buyer-coalition total cost with and without PEM (Fig. 6c)."""
+
+    windows: List[int]
+    with_pem: List[float]
+    without_pem: List[float]
+
+    @property
+    def total_with_pem(self) -> float:
+        return sum(self.with_pem)
+
+    @property
+    def total_without_pem(self) -> float:
+        return sum(self.without_pem)
+
+    @property
+    def overall_saving_fraction(self) -> float:
+        without = self.total_without_pem
+        if without <= 0:
+            return 0.0
+        return (without - self.total_with_pem) / without
+
+
+@dataclass(frozen=True)
+class GridInteractionComparison:
+    """Energy exchanged with the main grid, with and without PEM (Fig. 6d)."""
+
+    windows: List[int]
+    with_pem: List[float]
+    without_pem: List[float]
+
+    @property
+    def total_reduction_kwh(self) -> float:
+        return sum(self.without_pem) - sum(self.with_pem)
+
+    @property
+    def reduction_fraction(self) -> float:
+        without = sum(self.without_pem)
+        if without <= 0:
+            return 0.0
+        return self.total_reduction_kwh / without
+
+
+@dataclass(frozen=True)
+class UtilityComparison:
+    """One seller's utility with and without PEM over the day (Fig. 6b)."""
+
+    agent_id: str
+    windows: List[int]
+    with_pem: List[float]
+    without_pem: List[float]
+
+    @property
+    def mean_improvement(self) -> float:
+        pairs = [
+            (w, wo)
+            for w, wo in zip(self.with_pem, self.without_pem)
+            if w == w and wo == wo  # skip NaNs (windows where the agent was not a seller)
+        ]
+        if not pairs:
+            return 0.0
+        return sum(w - wo for w, wo in pairs) / len(pairs)
+
+
+def coalition_size_series(day: TradingDayResult) -> CoalitionSizeSeries:
+    """Extract the Figure 4 series from a trading-day result."""
+    return CoalitionSizeSeries(
+        windows=[w.window for w in day.windows],
+        seller_sizes=day.seller_coalition_sizes,
+        buyer_sizes=day.buyer_coalition_sizes,
+    )
+
+
+def price_series(day: TradingDayResult, params) -> PriceSeries:
+    """Extract the Figure 6(a) series from a trading-day result."""
+    return PriceSeries(
+        windows=[w.window for w in day.windows],
+        prices=day.prices,
+        retail_price=params.retail_price,
+        feed_in_price=params.feed_in_price,
+        lower_bound=params.price_lower_bound,
+        upper_bound=params.price_upper_bound,
+    )
+
+
+def cost_comparison(day: TradingDayResult) -> CostComparison:
+    """Extract the Figure 6(c) series from a trading-day result."""
+    return CostComparison(
+        windows=[w.window for w in day.windows],
+        with_pem=day.buyer_costs_with_pem,
+        without_pem=day.buyer_costs_without_pem,
+    )
+
+
+def grid_interaction_comparison(day: TradingDayResult) -> GridInteractionComparison:
+    """Extract the Figure 6(d) series from a trading-day result."""
+    return GridInteractionComparison(
+        windows=[w.window for w in day.windows],
+        with_pem=day.grid_interaction_with_pem,
+        without_pem=day.grid_interaction_without_pem,
+    )
+
+
+def seller_utility_comparison(day: TradingDayResult, agent_id: str) -> UtilityComparison:
+    """Extract the Figure 6(b) series for one seller."""
+    return UtilityComparison(
+        agent_id=agent_id,
+        windows=[w.window for w in day.windows],
+        with_pem=day.seller_utility_series(agent_id, with_pem=True),
+        without_pem=day.seller_utility_series(agent_id, with_pem=False),
+    )
+
+
+def average_cost_saving(day: TradingDayResult, market_windows_only: bool = False) -> float:
+    """Average relative buyer-coalition saving.
+
+    Args:
+        day: the trading-day result.
+        market_windows_only: restrict the average to windows in which a PEM
+            market actually formed (the saving is zero by construction in
+            no-market windows).
+    """
+    fractions: List[float] = []
+    for window in day.windows:
+        if window.baseline_buyer_coalition_cost <= 0:
+            continue
+        if market_windows_only and window.case.value == "no_market":
+            continue
+        fractions.append(window.cost_saving_fraction)
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)

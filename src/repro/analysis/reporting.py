@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's evaluation
+as text: tables are rendered with aligned columns (Table I style) and
+figures as down-sampled series listings, so a benchmark run's captured
+output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "downsample"]
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a list of row dictionaries as an aligned text table.
+
+    Args:
+        rows: the table rows.
+        columns: column order (defaults to the keys of the first row).
+        title: optional title line.
+        float_format: format applied to float cells.
+
+    Returns:
+        the rendered table as a multi-line string.
+    """
+    if not rows:
+        return (title + "\n") if title else ""
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered_rows = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered_rows)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def downsample(values: Sequence[float], max_points: int = 24) -> List[float]:
+    """Pick at most ``max_points`` evenly spaced values from a series."""
+    if len(values) <= max_points:
+        return list(values)
+    step = len(values) / max_points
+    return [values[int(i * step)] for i in range(max_points)]
+
+
+def render_series(
+    name: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    max_points: int = 24,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render one or more aligned series (a text stand-in for a figure).
+
+    Args:
+        name: figure name printed as the title.
+        x_values: the common x axis (e.g. window indices).
+        series: named y series, all the same length as ``x_values``.
+        max_points: down-sampling bound.
+        float_format: format for y values.
+    """
+    if not x_values:
+        return name
+    indices = list(range(len(x_values)))
+    picked = downsample(indices, max_points=max_points)
+    rows = []
+    for index in picked:
+        row: Dict[str, object] = {"x": x_values[int(index)]}
+        for label, values in series.items():
+            value = values[int(index)]
+            row[label] = value if value == value else float("nan")
+        rows.append(row)
+    return render_table(rows, title=name, float_format=float_format)

@@ -1,0 +1,26 @@
+"""Consortium-blockchain settlement extension (Section VI, "Blockchain
+Deployment").
+
+Simulates the consortium chain the paper proposes for recording PEM
+settlements: hash-linked blocks of settlement transactions, a round-robin /
+quorum ordering service among validator agents, and a settlement smart
+contract that enforces price-band and payment-consistency rules.
+"""
+
+from .block import GENESIS_PREVIOUS_HASH, Block, SettlementTransaction
+from .chain import ChainError, ConsortiumChain
+from .consensus import ConsensusError, RoundRobinConsensus, Validator
+from .contract import ContractViolation, SettlementContract
+
+__all__ = [
+    "GENESIS_PREVIOUS_HASH",
+    "Block",
+    "SettlementTransaction",
+    "ChainError",
+    "ConsortiumChain",
+    "ConsensusError",
+    "RoundRobinConsensus",
+    "Validator",
+    "ContractViolation",
+    "SettlementContract",
+]

@@ -1,0 +1,114 @@
+"""Consortium ordering service for the settlement chain.
+
+The paper's blockchain discussion targets a *consortium* chain: a known set
+of validators (e.g. the PEM operator plus a rotating subset of agents)
+orders blocks — no proof-of-work.  We simulate a round-robin proposer with
+majority voting, which is the ordering behaviour PBFT-style consortium
+chains expose to applications: deterministic proposer rotation, a block
+commits once a quorum (> 2/3) of validators endorse it, and a faulty or
+withholding proposer is skipped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .block import Block, SettlementTransaction
+
+__all__ = ["Validator", "RoundRobinConsensus", "ConsensusError"]
+
+
+class ConsensusError(Exception):
+    """Raised when a block cannot be committed (no quorum, bad proposer)."""
+
+
+@dataclass
+class Validator:
+    """One consortium validator.
+
+    Attributes:
+        validator_id: stable identifier (usually an agent id).
+        faulty: a faulty validator refuses to vote and proposes empty blocks
+            (used by the failure-injection tests).
+    """
+
+    validator_id: str
+    faulty: bool = False
+
+    def validate(self, block: Block, expected_previous_hash: str) -> bool:
+        """Endorse a block if it extends the chain and its contents are valid."""
+        if self.faulty:
+            return False
+        if block.previous_hash != expected_previous_hash:
+            return False
+        return all(tx.is_consistent() for tx in block.transactions)
+
+
+@dataclass
+class RoundRobinConsensus:
+    """Round-robin proposer rotation with quorum voting.
+
+    Attributes:
+        validators: the consortium membership (order defines rotation).
+        quorum_fraction: fraction of validators that must endorse a block.
+    """
+
+    validators: List[Validator]
+    quorum_fraction: float = 2.0 / 3.0
+    _next_proposer: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.validators:
+            raise ConsensusError("a consortium needs at least one validator")
+        if not (0.5 <= self.quorum_fraction <= 1.0):
+            raise ConsensusError("quorum fraction must be in [0.5, 1.0]")
+
+    @property
+    def quorum_size(self) -> int:
+        import math
+
+        return max(1, math.ceil(self.quorum_fraction * len(self.validators)))
+
+    def next_proposer(self) -> Validator:
+        """Return the next non-faulty proposer in rotation (skipping faulty ones)."""
+        attempts = 0
+        while attempts < len(self.validators):
+            validator = self.validators[self._next_proposer % len(self.validators)]
+            self._next_proposer += 1
+            if not validator.faulty:
+                return validator
+            attempts += 1
+        raise ConsensusError("all validators are faulty; cannot propose a block")
+
+    def order_block(
+        self,
+        index: int,
+        previous_hash: str,
+        transactions: Sequence[SettlementTransaction],
+    ) -> Block:
+        """Propose, vote on and commit one block.
+
+        Raises:
+            ConsensusError: if fewer than ``quorum_size`` validators endorse
+                the proposed block.
+        """
+        proposer = self.next_proposer()
+        block = Block(
+            index=index,
+            previous_hash=previous_hash,
+            proposer_id=proposer.validator_id,
+            transactions=list(transactions),
+        )
+        votes = [
+            v.validator_id
+            for v in self.validators
+            if v.validate(block, expected_previous_hash=previous_hash)
+        ]
+        if len(votes) < self.quorum_size:
+            raise ConsensusError(
+                f"block {index} got {len(votes)} votes, quorum is {self.quorum_size}"
+            )
+        block.votes = votes
+        return block

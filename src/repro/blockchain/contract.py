@@ -1,0 +1,89 @@
+"""The PEM settlement smart contract.
+
+Bridges the trading engine and the consortium chain: given a cleared window
+(a :class:`~repro.core.market.MarketClearing`), the contract turns every
+pairwise trade into a :class:`SettlementTransaction`, enforces the contract
+rules (payment equals price × energy, price inside the announced PEM band,
+no duplicate settlement of a window), and commits the batch as one block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.market import MarketClearing
+from ..core.params import MarketParameters, PAPER_PARAMETERS
+from .block import Block, SettlementTransaction
+from .chain import ConsortiumChain
+
+__all__ = ["ContractViolation", "SettlementContract"]
+
+
+class ContractViolation(Exception):
+    """Raised when a clearing violates the settlement contract rules."""
+
+
+@dataclass
+class SettlementContract:
+    """Smart-contract logic for settling PEM trading windows on-chain.
+
+    Attributes:
+        chain: the consortium ledger the contract writes to.
+        params: the market parameters the contract enforces (price band).
+    """
+
+    chain: ConsortiumChain
+    params: MarketParameters = PAPER_PARAMETERS
+    _settled_windows: Set[int] = field(default_factory=set)
+
+    def settle_window(self, clearing: MarketClearing) -> Optional[Block]:
+        """Validate and commit all trades of one cleared window.
+
+        Returns the committed block, or ``None`` when the window contains no
+        trades (nothing to settle).
+
+        Raises:
+            ContractViolation: on duplicate settlement, an out-of-band price
+                or an inconsistent payment.
+        """
+        if clearing.window in self._settled_windows:
+            raise ContractViolation(f"window {clearing.window} is already settled")
+        if not clearing.trades:
+            self._settled_windows.add(clearing.window)
+            return None
+        if not self.params.contains(clearing.clearing_price):
+            raise ContractViolation(
+                f"clearing price {clearing.clearing_price} outside the PEM band"
+            )
+        transactions: List[SettlementTransaction] = []
+        for trade in clearing.trades:
+            tx = SettlementTransaction(
+                window=clearing.window,
+                seller_id=trade.seller_id,
+                buyer_id=trade.buyer_id,
+                energy_kwh=trade.energy_kwh,
+                payment=trade.payment,
+                price=clearing.clearing_price,
+            )
+            if not tx.is_consistent():
+                raise ContractViolation(
+                    f"trade {trade.seller_id}->{trade.buyer_id} payment does not "
+                    f"match price x energy"
+                )
+            transactions.append(tx)
+        block = self.chain.append_transactions(transactions)
+        self._settled_windows.add(clearing.window)
+        return block
+
+    def settled_windows(self) -> Set[int]:
+        return set(self._settled_windows)
+
+    def window_totals(self, window: int) -> Dict[str, float]:
+        """Aggregate on-chain totals of one settled window (for reconciliation)."""
+        transactions = self.chain.transactions_for_window(window)
+        return {
+            "energy_kwh": sum(tx.energy_kwh for tx in transactions),
+            "payments": sum(tx.payment for tx in transactions),
+            "trade_count": float(len(transactions)),
+        }

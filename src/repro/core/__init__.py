@@ -1,0 +1,80 @@
+"""The paper's primary contribution: the Private Energy Market (PEM).
+
+Layers:
+
+* economics (Section III) — :mod:`repro.core.agent`,
+  :mod:`repro.core.coalition`, :mod:`repro.core.game`,
+  :mod:`repro.core.market`, :mod:`repro.core.baseline`,
+  :mod:`repro.core.incentives` and the plaintext reference engine
+  :mod:`repro.core.pem`;
+* cryptographic protocols (Section IV) — :mod:`repro.core.protocols`;
+* threat model / auditing (Section V) — :mod:`repro.core.adversary`.
+"""
+
+from .agent import (
+    AgentRole,
+    AgentWindowState,
+    GreedyBatteryPolicy,
+    NoBatteryPolicy,
+    SmartHomeAgent,
+)
+from .baseline import GridOnlyOutcome, grid_only_window
+from .coalition import Coalitions, form_coalitions
+from .game import (
+    StackelbergOutcome,
+    buyer_coalition_total_cost,
+    buyer_cost,
+    optimal_load_profile,
+    seller_utility,
+    solve_stackelberg,
+    unconstrained_optimal_price,
+)
+from .incentives import (
+    ManipulationOutcome,
+    RationalityReport,
+    check_individual_rationality,
+    evaluate_buyer_misreport,
+    evaluate_seller_misreport,
+)
+from .market import MarketCase, MarketClearing, Trade, clear_market
+from .params import PAPER_PARAMETERS, MarketParameters
+from .pem import PlainTradingEngine, build_agents, states_for_window
+from .protocols import PrivateTradingEngine, ProtocolConfig
+from .results import TradingDayResult, WindowResult
+
+__all__ = [
+    "AgentRole",
+    "AgentWindowState",
+    "GreedyBatteryPolicy",
+    "NoBatteryPolicy",
+    "SmartHomeAgent",
+    "GridOnlyOutcome",
+    "grid_only_window",
+    "Coalitions",
+    "form_coalitions",
+    "StackelbergOutcome",
+    "buyer_coalition_total_cost",
+    "buyer_cost",
+    "optimal_load_profile",
+    "seller_utility",
+    "solve_stackelberg",
+    "unconstrained_optimal_price",
+    "ManipulationOutcome",
+    "RationalityReport",
+    "check_individual_rationality",
+    "evaluate_buyer_misreport",
+    "evaluate_seller_misreport",
+    "MarketCase",
+    "MarketClearing",
+    "Trade",
+    "clear_market",
+    "PAPER_PARAMETERS",
+    "MarketParameters",
+    "PlainTradingEngine",
+    "build_agents",
+    "states_for_window",
+    "PrivateTradingEngine",
+    "ProtocolConfig",
+    "TradingDayResult",
+    "WindowResult",
+]

@@ -1,0 +1,62 @@
+"""Market-level parameters of the Private Energy Market.
+
+The PEM operator (not any individual agent) fixes the grid prices and the
+acceptable market price range.  The paper's evaluation uses a retail price
+``ps_g`` of 120 cents/kWh, a grid buy-back price ``pb_g`` of 80 cents/kWh
+and a PEM price band of [90, 110] cents/kWh; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MarketParameters", "PAPER_PARAMETERS"]
+
+
+@dataclass(frozen=True)
+class MarketParameters:
+    """Prices and bounds that define one PEM deployment.
+
+    Attributes:
+        retail_price: ``ps_g`` — price for buying from the main grid
+            (cents/kWh).
+        feed_in_price: ``pb_g`` — price the main grid pays for excess energy
+            (cents/kWh).
+        price_lower_bound: ``pl`` — lower edge of the acceptable PEM band.
+        price_upper_bound: ``ph`` — upper edge of the acceptable PEM band.
+    """
+
+    retail_price: float = 120.0
+    feed_in_price: float = 80.0
+    price_lower_bound: float = 90.0
+    price_upper_bound: float = 110.0
+
+    def __post_init__(self) -> None:
+        # Eq. 3 of the paper: pb_g < pl <= ph < ps_g.
+        if not (self.feed_in_price < self.price_lower_bound):
+            raise ValueError("price_lower_bound must exceed the grid feed-in price")
+        if not (self.price_lower_bound <= self.price_upper_bound):
+            raise ValueError("price bounds must satisfy pl <= ph")
+        if not (self.price_upper_bound < self.retail_price):
+            raise ValueError("price_upper_bound must be below the grid retail price")
+
+    def clamp_price(self, price: float) -> float:
+        """Clamp a candidate price into the acceptable band [pl, ph] (Eq. 14)."""
+        if price < self.price_lower_bound:
+            return self.price_lower_bound
+        if price > self.price_upper_bound:
+            return self.price_upper_bound
+        return price
+
+    def contains(self, price: float) -> bool:
+        """Whether a price lies inside the acceptable band."""
+        return self.price_lower_bound <= price <= self.price_upper_bound
+
+
+#: The exact parameter set used throughout the paper's Section VII.
+PAPER_PARAMETERS = MarketParameters(
+    retail_price=120.0,
+    feed_in_price=80.0,
+    price_lower_bound=90.0,
+    price_upper_bound=110.0,
+)

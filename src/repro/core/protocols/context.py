@@ -1,0 +1,259 @@
+"""Shared execution context for the PEM cryptographic protocols.
+
+A :class:`ProtocolContext` ties together, for one trading window:
+
+* the agents' private window states (generation, load, battery, ``k``),
+* one simulated-network :class:`~repro.net.network.Party` endpoint per agent,
+* each agent's Paillier key pair (generated locally, public keys shared —
+  the Initialization step of Protocol 1),
+* the fixed-point codec used to put real-valued energy quantities into the
+  integer plaintext space, and
+* the cost-model charging hooks used to produce the simulated runtime of
+  Figure 5.
+
+The context deliberately does **not** give protocols random access to other
+agents' states: protocol code must fetch private values through the owning
+:class:`AgentRuntime`, which is what keeps the privacy-audit tests
+meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...crypto.fixedpoint import DEFAULT_PRECISION, FixedPointCodec
+from ...crypto.paillier import PaillierKeyPair, generate_keypair
+from ...net.costmodel import CostModel
+from ...net.message import MessageKind
+from ...net.network import Party, SimulatedNetwork
+from ..agent import AgentWindowState
+from ..coalition import Coalitions
+from ..params import MarketParameters, PAPER_PARAMETERS
+
+__all__ = ["ProtocolConfig", "KeyRing", "AgentRuntime", "ProtocolContext"]
+
+#: Nonce range for the additive blinding in Private Market Evaluation.  Large
+#: enough to statistically hide individual fixed-point net-energy values,
+#: small enough that 300-agent sums stay far below the 64-bit comparison
+#: width and the Paillier plaintext bound.
+NONCE_BITS = 32
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunable parameters of a private PEM run.
+
+    Attributes:
+        key_size: Paillier key size in bits (the paper uses 512/1024/2048).
+        precision: decimal digits of the fixed-point codec.
+        ratio_scale: the integer ``k`` of Protocol 4 used to turn the local
+            ``1/|sn_j|`` factor into an integer multiplier.
+        key_pool_size: when set, agents share keys from a pool of this size
+            instead of each generating its own pair.  This keeps large-scale
+            benchmarks tractable without changing message counts or sizes;
+            correctness/privacy tests use per-agent keys (``None``).
+        seed: seed for protocol randomness (nonce and leader selection).
+        comparison_bits: bit width of the garbled comparison circuit.
+    """
+
+    key_size: int = 512
+    precision: int = DEFAULT_PRECISION + 3
+    ratio_scale: int = 10**12
+    key_pool_size: Optional[int] = None
+    seed: int = 7
+    comparison_bits: int = 64
+
+
+class KeyRing:
+    """Generates and caches Paillier key pairs for the agents.
+
+    With ``key_pool_size`` unset every agent gets its own key pair, exactly
+    as in Protocol 1.  With a pool, pairs are generated once and assigned
+    round-robin — message counts, ciphertext sizes and protocol structure
+    are unchanged, which is all the performance benchmarks rely on.
+    """
+
+    def __init__(self, config: ProtocolConfig, rng: random.Random) -> None:
+        self._config = config
+        self._rng = rng
+        self._per_agent: Dict[str, PaillierKeyPair] = {}
+        self._pool: List[PaillierKeyPair] = []
+
+    def keypair_for(self, agent_id: str, agent_index: int) -> PaillierKeyPair:
+        """Return the (cached) key pair owned by one agent."""
+        if agent_id in self._per_agent:
+            return self._per_agent[agent_id]
+        if self._config.key_pool_size:
+            while len(self._pool) < self._config.key_pool_size:
+                self._pool.append(generate_keypair(self._config.key_size, self._rng))
+            keypair = self._pool[agent_index % self._config.key_pool_size]
+        else:
+            keypair = generate_keypair(self._config.key_size, self._rng)
+        self._per_agent[agent_id] = keypair
+        return keypair
+
+
+@dataclass
+class AgentRuntime:
+    """One agent's endpoint inside a protocol run."""
+
+    state: AgentWindowState
+    party: Party
+    keypair: PaillierKeyPair
+    #: the blinding nonce used in both rounds of Private Market Evaluation.
+    nonce: int = 0
+
+    @property
+    def agent_id(self) -> str:
+        return self.state.agent_id
+
+    @property
+    def public_key(self):
+        return self.keypair.public_key
+
+    @property
+    def private_key(self):
+        return self.keypair.private_key
+
+
+class ProtocolContext:
+    """Everything Protocols 2-4 need for one trading window.
+
+    Args:
+        coalitions: the already-formed coalitions of the window (Protocol 1
+            line 4; role claims are public in the paper's model).
+        network: the simulated network to run over.
+        config: protocol configuration.
+        params: market parameters.
+        keyring: optional shared :class:`KeyRing` (reused across windows so
+            agents keep their long-lived keys).
+        rng: protocol randomness (leader selection, nonces); defaults to a
+            generator seeded from ``config.seed`` and the window index.
+    """
+
+    def __init__(
+        self,
+        coalitions: Coalitions,
+        network: SimulatedNetwork,
+        config: ProtocolConfig = ProtocolConfig(),
+        params: MarketParameters = PAPER_PARAMETERS,
+        keyring: Optional[KeyRing] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.coalitions = coalitions
+        self.network = network
+        self.config = config
+        self.params = params
+        self.codec = FixedPointCodec(precision=config.precision)
+        self.rng = rng or random.Random((config.seed, coalitions.window).__hash__())
+        self.keyring = keyring or KeyRing(config, self.rng)
+
+        self.sellers: List[AgentRuntime] = []
+        self.buyers: List[AgentRuntime] = []
+        self._by_id: Dict[str, AgentRuntime] = {}
+        self._register_agents()
+
+    # -- setup -------------------------------------------------------------------
+
+    def _register_agents(self) -> None:
+        seller_ids = set(self.coalitions.seller_ids)
+        ordered = list(self.coalitions.sellers) + list(self.coalitions.buyers)
+        for index, state in enumerate(ordered):
+            party_id = state.agent_id
+            try:
+                party = self.network.party(party_id)
+            except Exception:
+                party = self.network.register(party_id)
+            runtime = AgentRuntime(
+                state=state,
+                party=party,
+                keypair=self.keyring.keypair_for(party_id, index),
+                nonce=self.rng.getrandbits(NONCE_BITS),
+            )
+            self._by_id[party_id] = runtime
+            if party_id in seller_ids:
+                self.sellers.append(runtime)
+            else:
+                self.buyers.append(runtime)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def runtime(self, agent_id: str) -> AgentRuntime:
+        return self._by_id[agent_id]
+
+    @property
+    def all_agents(self) -> List[AgentRuntime]:
+        return self.sellers + self.buyers
+
+    def choose_seller(self, exclude: Sequence[str] = ()) -> AgentRuntime:
+        """Randomly choose a seller (Protocol 2 line 1 / Protocol 4 line 2)."""
+        candidates = [s for s in self.sellers if s.agent_id not in exclude]
+        if not candidates:
+            raise ValueError("no eligible seller to choose from")
+        return self.rng.choice(candidates)
+
+    def choose_buyer(self, exclude: Sequence[str] = ()) -> AgentRuntime:
+        """Randomly choose a buyer (Protocol 2 line 11 / Protocol 3 line 1)."""
+        candidates = [b for b in self.buyers if b.agent_id not in exclude]
+        if not candidates:
+            raise ValueError("no eligible buyer to choose from")
+        return self.rng.choice(candidates)
+
+    # -- cost-model charging hooks -------------------------------------------------
+
+    @property
+    def cost_model(self) -> Optional[CostModel]:
+        return self.network.cost_model
+
+    def charge_encryptions(self, count: int) -> None:
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(self.cost_model.encryption_cost(count))
+
+    def charge_decryptions(self, count: int) -> None:
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(self.cost_model.decryption_cost(count))
+
+    def charge_homomorphic_ops(self, count: int) -> None:
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(self.cost_model.aggregation_cost(count))
+
+    def charge_comparison(self, gate_count: int, ot_count: int) -> None:
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(
+                self.cost_model.comparison_cost(gate_count, ot_count)
+            )
+
+    def charge_chain(self, hop_count: int, bytes_per_hop: int) -> None:
+        """Charge a sequential chain of messages to the critical path."""
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(
+                self.cost_model.chain_cost(hop_count, bytes_per_hop)
+            )
+
+    def charge_round(self, bytes_per_message: int) -> None:
+        """Charge one parallel communication round to the critical path."""
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(self.cost_model.round_cost(bytes_per_message))
+
+    def charge_window_setup(self) -> None:
+        """Charge the fixed per-window protocol session overhead."""
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(self.cost_model.window_setup_cost())
+
+    def ciphertext_bytes(self, public_key) -> int:
+        """Wire size of one ciphertext under the given public key."""
+        return public_key.ciphertext_byte_length()
+
+    # -- helpers used by several protocols -----------------------------------------
+
+    def encode_energy(self, kwh: float) -> int:
+        """Fixed-point encode an energy quantity."""
+        return self.codec.encode(kwh)
+
+    def broadcast_from(
+        self, sender: AgentRuntime, recipients: Sequence[AgentRuntime], kind: MessageKind, **metadata
+    ) -> None:
+        """Convenience broadcast of a metadata-only message."""
+        sender.party.broadcast([r.agent_id for r in recipients], kind, metadata=metadata)

@@ -1,0 +1,287 @@
+"""Protocol 1 — the Private Energy Market orchestrator.
+
+Runs one trading window end-to-end over the simulated network using the
+cryptographic sub-protocols:
+
+1. **Initialization** — agents announce roles and public keys, the seller
+   and buyer coalitions are formed (role claims are public, the underlying
+   quantities are not),
+2. **Private Market Evaluation** (Protocol 2) decides general vs. extreme,
+3. **Private Pricing** (Protocol 3) computes ``p*`` in the general market
+   (the extreme market pins the price at ``pl``),
+4. **Private Distribution** (Protocol 4) allocates pairwise amounts and
+   settles payments.
+
+The resulting :class:`~repro.core.results.WindowResult` has exactly the
+same structure as the plaintext engine's, plus the protocol's bandwidth and
+simulated-runtime measurements — which is what the Figure 5 / Table I
+benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ...data.loader import WindowSlice, iter_windows
+from ...data.traces import TraceDataset
+from ...net.costmodel import CostModel
+from ...net.network import SimulatedNetwork
+from ..agent import AgentWindowState, BatteryPolicy
+from ..baseline import grid_only_window
+from ..coalition import form_coalitions
+from ..market import MarketCase
+from ..params import MarketParameters, PAPER_PARAMETERS
+from ..pem import (
+    assemble_market_result,
+    assemble_no_market_result,
+    build_agents,
+    states_for_window,
+)
+from ..results import TradingDayResult, WindowResult
+from .context import KeyRing, ProtocolConfig, ProtocolContext
+from .distribution import run_private_distribution
+from .market_evaluation import run_market_evaluation
+from .pricing import run_private_pricing
+
+__all__ = ["PrivateWindowTrace", "PrivateTradingEngine"]
+
+#: Message kinds that settle trades (physical routing and payment
+#: notifications) rather than perform the secure computation itself; they
+#: are excluded from the Table I protocol-bandwidth measurement.
+_SETTLEMENT_KINDS = ("energy_route", "payment")
+
+
+@dataclass
+class PrivateWindowTrace:
+    """Protocol-level details of one privately executed window.
+
+    Attributes:
+        result: the economic window result (same structure as plaintext).
+        market_evaluation_leader_ids: the two agents that ran the secure
+            comparison (seller ``H_r1``, buyer ``H_r2``) — empty when no
+            market exists.
+        pricing_leader_id: the buyer ``H_b`` of Protocol 3 (general market).
+        ratio_holder_id: the agent that learned the share ratios in
+            Protocol 4.
+        bandwidth_bytes: total window traffic, including the energy-routing
+            and payment notifications that settle the trades.
+        protocol_bandwidth_bytes: traffic of the secure computation itself
+            (ciphertext chains, garbled-circuit comparison, ratio exchange) —
+            the quantity the paper's Table I reports.
+        simulated_runtime_seconds: critical-path runtime charged by the cost
+            model.
+    """
+
+    result: WindowResult
+    market_evaluation_leader_ids: tuple[str, ...] = ()
+    pricing_leader_id: Optional[str] = None
+    ratio_holder_id: Optional[str] = None
+    bandwidth_bytes: int = 0
+    protocol_bandwidth_bytes: int = 0
+    simulated_runtime_seconds: float = 0.0
+
+
+class PrivateTradingEngine:
+    """Runs PEM trading windows with the full cryptographic protocol stack.
+
+    Args:
+        params: market parameters.
+        config: protocol configuration (key size, precision, seeds).
+        cost_model: cost model used to accumulate simulated runtime; by
+            default one matching ``config.key_size`` with pipelined crypto
+            (the paper's deployment).
+    """
+
+    def __init__(
+        self,
+        params: MarketParameters = PAPER_PARAMETERS,
+        config: ProtocolConfig = ProtocolConfig(),
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.params = params
+        self.config = config
+        self.cost_model = cost_model or CostModel.for_key_size(config.key_size)
+        self._keyring_rng = random.Random(config.seed)
+        self.keyring = KeyRing(config, self._keyring_rng)
+
+    # -- single window -----------------------------------------------------------
+
+    def run_window(
+        self,
+        window: int,
+        states: Sequence[AgentWindowState],
+        network: Optional[SimulatedNetwork] = None,
+    ) -> PrivateWindowTrace:
+        """Run one trading window through Protocols 1-4.
+
+        Args:
+            window: the window index.
+            states: every agent's private window state.
+            network: optional pre-built network (a fresh one is created per
+                window otherwise, mirroring per-window protocol sessions).
+
+        Returns:
+            a :class:`PrivateWindowTrace` containing the window result plus
+            protocol measurements.
+        """
+        network = network or SimulatedNetwork(cost_model=self.cost_model)
+        baseline_stats = network.stats
+        start_bytes = baseline_stats.total_bytes
+        start_settlement_bytes = baseline_stats.bytes_for_kinds(_SETTLEMENT_KINDS)
+        start_seconds = baseline_stats.simulated_seconds
+
+        coalitions = form_coalitions(window, states)
+        baseline = grid_only_window(coalitions, self.params)
+
+        # Initialization (Protocol 1 lines 1-4).  Key pairs are generated and
+        # public keys shared once at system setup (Protocol 1 lines 1-2), so
+        # the per-window traffic measured here — like the paper's — consists
+        # of the protocol ciphertexts, ratios, routing and payments only.
+        context = ProtocolContext(
+            coalitions=coalitions,
+            network=network,
+            config=self.config,
+            params=self.params,
+            keyring=self.keyring,
+            rng=random.Random((self.config.seed * 1_000_003 + window) & 0xFFFFFFFF),
+        )
+
+        if not coalitions.has_market:
+            result = assemble_no_market_result(coalitions, baseline, self.params)
+            trace = PrivateWindowTrace(result=result)
+            self._attach_measurements(
+                trace, network, start_bytes, start_settlement_bytes, start_seconds
+            )
+            return trace
+
+        # Per-window protocol session overhead (container coordination).
+        context.charge_window_setup()
+
+        # Protocol 2: Private Market Evaluation.
+        evaluation = run_market_evaluation(context)
+
+        # Protocol 3 (general market) or the pl price rule (extreme market).
+        if evaluation.is_general_market:
+            case = MarketCase.GENERAL
+            pricing = run_private_pricing(context)
+            price = pricing.clearing_price
+            pricing_leader = pricing.leader_buyer_id
+        else:
+            case = MarketCase.EXTREME
+            price = self.params.price_lower_bound
+            pricing_leader = None
+
+        # Protocol 4: Private Distribution.
+        distribution = run_private_distribution(context, case, price)
+
+        result = assemble_market_result(
+            coalitions, case, price, distribution.clearing, baseline, self.params
+        )
+        trace = PrivateWindowTrace(
+            result=result,
+            market_evaluation_leader_ids=(
+                evaluation.leader_seller_id,
+                evaluation.leader_buyer_id,
+            ),
+            pricing_leader_id=pricing_leader,
+            ratio_holder_id=distribution.ratio_holder_id,
+        )
+        self._attach_measurements(
+            trace, network, start_bytes, start_settlement_bytes, start_seconds
+        )
+        return trace
+
+    def _attach_measurements(
+        self,
+        trace: PrivateWindowTrace,
+        network: SimulatedNetwork,
+        start_bytes: int,
+        start_settlement_bytes: int,
+        start_seconds: float,
+    ) -> None:
+        trace.bandwidth_bytes = network.stats.total_bytes - start_bytes
+        settlement_bytes = (
+            network.stats.bytes_for_kinds(_SETTLEMENT_KINDS) - start_settlement_bytes
+        )
+        trace.protocol_bandwidth_bytes = trace.bandwidth_bytes - settlement_bytes
+        trace.simulated_runtime_seconds = network.stats.simulated_seconds - start_seconds
+        trace.result.bandwidth_bytes = trace.bandwidth_bytes
+        trace.result.simulated_runtime_seconds = trace.simulated_runtime_seconds
+
+    # -- multi-window runs ----------------------------------------------------------
+
+    def run_windows(
+        self,
+        dataset: TraceDataset,
+        windows: Iterable[int],
+        home_count: Optional[int] = None,
+        battery_policy: Optional[BatteryPolicy] = None,
+        reuse_network: bool = False,
+    ) -> List[PrivateWindowTrace]:
+        """Run the private protocol stack over selected windows of a dataset.
+
+        Battery state is advanced over *all* windows up to the last selected
+        one so the selected windows see the same agent states they would in
+        a full-day run.
+
+        Args:
+            dataset: the trace dataset.
+            windows: indices of the windows to execute privately.
+            home_count: restrict to the first N homes.
+            battery_policy: optional battery policy override.
+            reuse_network: execute every window over one long-lived network
+                (accumulating a single traffic log) instead of a fresh
+                network per window.
+
+        Returns:
+            one :class:`PrivateWindowTrace` per selected window, in order.
+        """
+        selected = sorted(set(windows))
+        if not selected:
+            return []
+        agents = build_agents(dataset, battery_policy=battery_policy, home_count=home_count)
+        count = len(agents)
+        shared_network = SimulatedNetwork(cost_model=self.cost_model) if reuse_network else None
+
+        traces: List[PrivateWindowTrace] = []
+        last = selected[-1]
+        wanted = set(selected)
+        for window_slice in iter_windows(dataset, stop=last + 1):
+            trimmed = WindowSlice(
+                window=window_slice.window,
+                home_ids=window_slice.home_ids[:count],
+                generation_kwh=window_slice.generation_kwh[:count],
+                load_kwh=window_slice.load_kwh[:count],
+            )
+            states = states_for_window(agents, trimmed)
+            if window_slice.window not in wanted:
+                continue
+            network = shared_network or SimulatedNetwork(cost_model=self.cost_model)
+            traces.append(self.run_window(window_slice.window, states, network=network))
+        return traces
+
+    def run_day(
+        self,
+        dataset: TraceDataset,
+        home_count: Optional[int] = None,
+        windows: Optional[Iterable[int]] = None,
+        battery_policy: Optional[BatteryPolicy] = None,
+    ) -> TradingDayResult:
+        """Run selected (default: all) windows and return a TradingDayResult.
+
+        Mirrors :meth:`repro.core.pem.PlainTradingEngine.run_day` so the two
+        engines are drop-in replacements for each other in the experiment
+        runner.
+        """
+        window_indices = (
+            list(windows) if windows is not None else list(range(dataset.window_count))
+        )
+        traces = self.run_windows(
+            dataset, window_indices, home_count=home_count, battery_policy=battery_policy
+        )
+        day = TradingDayResult()
+        for trace in traces:
+            day.append(trace.result)
+        return day

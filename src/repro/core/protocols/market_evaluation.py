@@ -1,0 +1,184 @@
+"""Protocol 2 — Private Market Evaluation.
+
+Decides whether the current trading window is a *general* market
+(``E_s < E_b``) or an *extreme* market without revealing either aggregate,
+let alone any individual net energy:
+
+1. a randomly chosen seller ``H_r1`` publishes its Paillier public key; the
+   buyers chain-aggregate ``Enc(|sn_j| + r_j)`` (each buyer adds a random
+   nonce ``r_j``), the remaining sellers fold in encryptions of their own
+   nonces ``r_i``, and ``H_r1`` decrypts the blinded demand aggregate
+   ``R_b = Σ(|sn_j| + r_j) + Σ r_i``;
+2. symmetrically, a randomly chosen buyer ``H_r2`` ends up with the blinded
+   supply aggregate ``R_s = Σ(sn_i + r_i) + Σ r_j``;
+3. because the *same* nonce sum blinds both aggregates,
+   ``R_s < R_b  ⟺  E_s < E_b``; the two leaders run a Fairplay-style
+   garbled-circuit comparison on ``(R_s, R_b)`` and broadcast only the
+   single resulting market-case bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...crypto.paillier import PaillierCiphertext
+from ...crypto.secure_comparison import secure_less_than
+from ...net.message import MessageKind
+from .context import AgentRuntime, ProtocolContext
+
+__all__ = ["MarketEvaluationResult", "run_market_evaluation"]
+
+
+@dataclass(frozen=True)
+class MarketEvaluationResult:
+    """Outcome of Private Market Evaluation for one window.
+
+    Attributes:
+        is_general_market: True when supply is strictly below demand.
+        leader_seller_id: the seller ``H_r1`` that decrypted ``R_b``.
+        leader_buyer_id: the buyer ``H_r2`` that decrypted ``R_s``.
+        blinded_demand: the value ``R_b`` observed by ``H_r1``.
+        blinded_supply: the value ``R_s`` observed by ``H_r2``.
+    """
+
+    is_general_market: bool
+    leader_seller_id: str
+    leader_buyer_id: str
+    blinded_demand: int
+    blinded_supply: int
+
+
+def _chain_aggregate(
+    context: ProtocolContext,
+    contributors: List[AgentRuntime],
+    values: List[int],
+    public_key,
+    kind: MessageKind,
+    final_recipient: AgentRuntime,
+) -> PaillierCiphertext:
+    """Chain-aggregate encrypted values along a sequence of agents.
+
+    Each contributor encrypts its own value under ``public_key`` and
+    multiplies it into the running ciphertext received from its predecessor
+    (Lines 2-9 of Protocol 2); the last contributor forwards the product to
+    ``final_recipient``.  Returns the ciphertext as received by the final
+    recipient.
+    """
+    running: Optional[PaillierCiphertext] = None
+    for index, (agent, value) in enumerate(zip(contributors, values)):
+        own = public_key.encrypt(value, rng=context.rng)
+        context.charge_encryptions(1)
+        if running is None:
+            running = own
+        else:
+            running = running.add_ciphertext(own)
+            context.charge_homomorphic_ops(1)
+        is_last = index == len(contributors) - 1
+        next_hop = final_recipient if is_last else contributors[index + 1]
+        agent.party.send(
+            next_hop.agent_id,
+            kind,
+            payload=running.to_bytes(),
+            metadata={"window": context.coalitions.window, "hop": index},
+        )
+    assert running is not None
+    return running
+
+
+def run_market_evaluation(context: ProtocolContext) -> MarketEvaluationResult:
+    """Execute Protocol 2 over the context's simulated network.
+
+    Requires both coalitions to be non-empty (Protocol 1 handles the empty
+    cases before calling this).
+    """
+    coalitions = context.coalitions
+    if not coalitions.has_market:
+        raise ValueError("Private Market Evaluation requires both coalitions to be non-empty")
+
+    codec = context.codec
+
+    # ---- Round 1: blinded demand aggregate ends at a random seller H_r1. ----
+    leader_seller = context.choose_seller()
+    other_sellers = [s for s in context.sellers if s.agent_id != leader_seller.agent_id]
+
+    buyer_values = [
+        codec.encode(-b.state.net_energy_kwh) + b.nonce for b in context.buyers
+    ]
+    seller_nonces = [s.nonce for s in other_sellers]
+
+    contributors = context.buyers + other_sellers
+    values = buyer_values + seller_nonces
+    ciphertext = _chain_aggregate(
+        context,
+        contributors,
+        values,
+        leader_seller.public_key,
+        MessageKind.MARKET_AGGREGATE,
+        leader_seller,
+    )
+    context.charge_chain(len(contributors), context.ciphertext_bytes(leader_seller.public_key))
+    blinded_demand = leader_seller.private_key.decrypt(ciphertext)
+    context.charge_decryptions(1)
+
+    # ---- Round 2: blinded supply aggregate ends at a random buyer H_r2. ----
+    leader_buyer = context.choose_buyer()
+    other_buyers = [b for b in context.buyers if b.agent_id != leader_buyer.agent_id]
+
+    seller_values = [
+        codec.encode(s.state.net_energy_kwh) + s.nonce for s in context.sellers
+    ]
+    buyer_nonces = [b.nonce for b in other_buyers]
+
+    contributors = context.sellers + other_buyers
+    values = seller_values + buyer_nonces
+    ciphertext = _chain_aggregate(
+        context,
+        contributors,
+        values,
+        leader_buyer.public_key,
+        MessageKind.MARKET_AGGREGATE,
+        leader_buyer,
+    )
+    context.charge_chain(len(contributors), context.ciphertext_bytes(leader_buyer.public_key))
+    blinded_supply = leader_buyer.private_key.decrypt(ciphertext)
+    context.charge_decryptions(1)
+
+    # The leader whose nonce did not enter either aggregate must still blind
+    # symmetrically: H_r1's nonce is missing from R_b's seller-side sum and
+    # H_r2's from R_s's buyer-side sum.  Both leaders add their own nonces
+    # locally before comparing, keeping the two blinding sums identical.
+    blinded_demand += leader_seller.nonce
+    blinded_supply += leader_buyer.nonce
+
+    # ---- Secure comparison of the blinded aggregates (Fairplay-style). ----
+    comparison = secure_less_than(
+        blinded_supply,
+        blinded_demand,
+        bit_width=context.config.comparison_bits,
+        rng=context.rng,
+    )
+    context.charge_comparison(comparison.and_gate_count, context.config.comparison_bits)
+    context.network.charge_extra_traffic(
+        leader_buyer.agent_id, sent=comparison.garbler_bytes_sent
+    )
+    context.network.charge_extra_traffic(
+        leader_seller.agent_id, sent=comparison.evaluator_bytes_sent
+    )
+    is_general = comparison.result
+
+    # ---- Broadcast the (public) market case to all agents. ----
+    leader_seller.party.broadcast(
+        [a.agent_id for a in context.all_agents],
+        MessageKind.MARKET_RESULT,
+        metadata={"window": coalitions.window, "general_market": is_general},
+    )
+    context.charge_round(64)
+
+    return MarketEvaluationResult(
+        is_general_market=is_general,
+        leader_seller_id=leader_seller.agent_id,
+        leader_buyer_id=leader_buyer.agent_id,
+        blinded_demand=blinded_demand,
+        blinded_supply=blinded_supply,
+    )

@@ -1,0 +1,128 @@
+"""Protocol 3 — Private Pricing.
+
+In the general market the optimal Stackelberg price (Eq. 13-14) only
+depends on two seller-coalition aggregates:
+
+* ``Σ k_i`` — the sum of the sellers' preference parameters, and
+* ``Σ (g_i + 1 + ε_i b_i - b_i)`` — the sum of the sellers' locally
+  computed pricing terms.
+
+A randomly chosen buyer ``H_b`` collects both sums through Paillier
+chain-aggregation under its own public key, computes
+``p̂ = sqrt(ps_g · Σk / Σterm)``, clamps it into the PEM band and broadcasts
+the resulting ``p*``.  ``H_b`` learns only the two aggregates (Lemma 3);
+the sellers learn nothing beyond the public price.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...crypto.paillier import PaillierCiphertext
+from ...net.message import MessageKind
+from .context import AgentRuntime, ProtocolContext
+
+__all__ = ["PricingResult", "run_private_pricing"]
+
+
+@dataclass(frozen=True)
+class PricingResult:
+    """Outcome of Private Pricing for one window.
+
+    Attributes:
+        unconstrained_price: the interior optimum ``p̂`` computed by ``H_b``.
+        clearing_price: the broadcast ``p*`` after clamping (Eq. 14).
+        leader_buyer_id: the buyer that performed the aggregation.
+        preference_sum: the aggregate ``Σ k_i`` revealed to the leader.
+        denominator_sum: the aggregate ``Σ (g_i + 1 + ε_i b_i - b_i)``.
+    """
+
+    unconstrained_price: float
+    clearing_price: float
+    leader_buyer_id: str
+    preference_sum: float
+    denominator_sum: float
+
+
+def _seller_chain_aggregate(
+    context: ProtocolContext,
+    values: List[int],
+    leader: AgentRuntime,
+    kind: MessageKind,
+) -> PaillierCiphertext:
+    """Chain-aggregate one encrypted value per seller toward the leader buyer."""
+    sellers = context.sellers
+    running: Optional[PaillierCiphertext] = None
+    for index, (seller, value) in enumerate(zip(sellers, values)):
+        own = leader.public_key.encrypt(value, rng=context.rng)
+        context.charge_encryptions(1)
+        if running is None:
+            running = own
+        else:
+            running = running.add_ciphertext(own)
+            context.charge_homomorphic_ops(1)
+        is_last = index == len(sellers) - 1
+        next_hop = leader if is_last else sellers[index + 1]
+        seller.party.send(
+            next_hop.agent_id,
+            kind,
+            payload=running.to_bytes(),
+            metadata={"window": context.coalitions.window, "hop": index},
+        )
+    assert running is not None
+    return running
+
+
+def run_private_pricing(context: ProtocolContext) -> PricingResult:
+    """Execute Protocol 3 over the context's simulated network."""
+    coalitions = context.coalitions
+    if not coalitions.has_sellers:
+        raise ValueError("Private Pricing requires a non-empty seller coalition")
+    if not coalitions.has_buyers:
+        raise ValueError("Private Pricing requires a buyer to act as the aggregator")
+
+    codec = context.codec
+    leader = context.choose_buyer()
+
+    # ---- First aggregation: Σ k_i. ----
+    k_values = [codec.encode(s.state.preference_k) for s in context.sellers]
+    k_ciphertext = _seller_chain_aggregate(
+        context, k_values, leader, MessageKind.PRICING_AGGREGATE
+    )
+    context.charge_chain(len(context.sellers), context.ciphertext_bytes(leader.public_key))
+    preference_sum = codec.decode(leader.private_key.decrypt(k_ciphertext))
+    context.charge_decryptions(1)
+
+    # ---- Second aggregation: Σ (g_i + 1 + ε_i b_i - b_i). ----
+    term_values = [
+        codec.encode(s.state.pricing_denominator_term()) for s in context.sellers
+    ]
+    term_ciphertext = _seller_chain_aggregate(
+        context, term_values, leader, MessageKind.PRICING_AGGREGATE
+    )
+    context.charge_chain(len(context.sellers), context.ciphertext_bytes(leader.public_key))
+    denominator_sum = codec.decode(leader.private_key.decrypt(term_ciphertext))
+    context.charge_decryptions(1)
+
+    if denominator_sum <= 0:
+        raise ValueError("pricing denominator aggregate must be positive")
+
+    # ---- Leader computes p̂, clamps to the PEM band and broadcasts p*. ----
+    p_hat = math.sqrt(context.params.retail_price * preference_sum / denominator_sum)
+    p_star = context.params.clamp_price(p_hat)
+    leader.party.broadcast(
+        [a.agent_id for a in context.all_agents],
+        MessageKind.PRICE_BROADCAST,
+        metadata={"window": coalitions.window, "price": round(p_star, 6)},
+    )
+    context.charge_round(64)
+
+    return PricingResult(
+        unconstrained_price=p_hat,
+        clearing_price=p_star,
+        leader_buyer_id=leader.agent_id,
+        preference_sum=preference_sum,
+        denominator_sum=denominator_sum,
+    )

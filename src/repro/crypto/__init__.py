@@ -1,0 +1,45 @@
+"""Cryptographic substrate for the PEM reproduction.
+
+Contains everything the PEM protocols need, implemented from scratch on the
+Python standard library:
+
+* :mod:`repro.crypto.primes` — Miller--Rabin primality and prime generation.
+* :mod:`repro.crypto.paillier` — the Paillier additively homomorphic
+  cryptosystem (keygen, encrypt/decrypt, homomorphic ops, serialization).
+* :mod:`repro.crypto.fixedpoint` — fixed-point encoding of reals for
+  encryption.
+* :mod:`repro.crypto.circuits` — boolean circuit builders (comparator, adder).
+* :mod:`repro.crypto.ot` — 1-out-of-2 oblivious transfer (Bellare--Micali).
+* :mod:`repro.crypto.garbled` — Yao garbled circuits with point-and-permute.
+* :mod:`repro.crypto.secure_comparison` — the Fairplay-style secure
+  comparison used by Private Market Evaluation.
+"""
+
+from .fixedpoint import DEFAULT_PRECISION, FixedPointCodec
+from .paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+    homomorphic_sum,
+)
+from .primes import generate_prime, generate_safe_prime, is_probable_prime
+from .secure_comparison import SecureComparisonResult, secure_greater_than, secure_less_than
+
+__all__ = [
+    "DEFAULT_PRECISION",
+    "FixedPointCodec",
+    "PaillierCiphertext",
+    "PaillierKeyPair",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "generate_keypair",
+    "homomorphic_sum",
+    "generate_prime",
+    "generate_safe_prime",
+    "is_probable_prime",
+    "SecureComparisonResult",
+    "secure_greater_than",
+    "secure_less_than",
+]

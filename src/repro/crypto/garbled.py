@@ -1,0 +1,329 @@
+"""Yao garbled circuits with point-and-permute.
+
+This is the Fairplay-style building block used by PEM's Private Market
+Evaluation: two parties (here the randomly chosen seller ``H_r1`` and buyer
+``H_r2``) securely compare their blinded aggregates without revealing them.
+
+Garbling scheme
+---------------
+Every wire ``w`` gets two random 128-bit labels ``L_w^0``, ``L_w^1`` plus a
+random *permute bit* ``π_w``.  For each binary gate the four possible
+(input-label, input-label) pairs encrypt the correct output label with a
+SHA-256 based dual-key cipher; the rows are stored ordered by the inputs'
+*external* bits (label's permute bit XOR its truth value), so the evaluator
+knows exactly which row to decrypt — the classic point-and-permute
+optimization.  NOT gates are handled for free by swapping labels at garble
+time (no table needed).
+
+The evaluator obtains the garbler's input labels directly and its own input
+labels through 1-out-of-2 oblivious transfer (:mod:`repro.crypto.ot`), so
+neither party learns the other's input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .circuits import Circuit, Gate, GateType, TRUTH_TABLES
+from .ot import OTGroup, run_oblivious_transfer
+
+__all__ = [
+    "WireLabel",
+    "GarbledGate",
+    "GarbledCircuit",
+    "GarblerOutput",
+    "garble_circuit",
+    "evaluate_garbled_circuit",
+    "run_two_party_computation",
+    "TwoPartyComputationResult",
+]
+
+#: Length of a wire label in bytes (128-bit labels, as in Fairplay).
+LABEL_BYTES = 16
+
+
+class GarblingError(Exception):
+    """Raised when garbled evaluation fails (wrong labels, corrupt tables)."""
+
+
+@dataclass(frozen=True)
+class WireLabel:
+    """A garbled wire label with its point-and-permute external bit."""
+
+    key: bytes
+    external_bit: int
+
+    def __post_init__(self) -> None:
+        if len(self.key) != LABEL_BYTES:
+            raise GarblingError(f"wire label must be {LABEL_BYTES} bytes")
+        if self.external_bit not in (0, 1):
+            raise GarblingError("external bit must be 0 or 1")
+
+    def to_bytes(self) -> bytes:
+        return self.key + bytes([self.external_bit])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WireLabel":
+        if len(data) != LABEL_BYTES + 1:
+            raise GarblingError("serialized wire label has wrong length")
+        return cls(key=data[:LABEL_BYTES], external_bit=data[LABEL_BYTES])
+
+
+@dataclass(frozen=True)
+class _WirePair:
+    """Both labels of a wire, indexed by truth value."""
+
+    zero: WireLabel
+    one: WireLabel
+
+    def for_value(self, bit: int) -> WireLabel:
+        return self.one if bit else self.zero
+
+
+@dataclass(frozen=True)
+class GarbledGate:
+    """A garbled truth table for one binary gate (4 rows) or none for NOT."""
+
+    gate_type: GateType
+    input_wires: tuple[int, ...]
+    output_wire: int
+    rows: Tuple[bytes, ...]
+
+
+@dataclass
+class GarbledCircuit:
+    """Everything the evaluator needs except the input labels."""
+
+    circuit: Circuit
+    gates: List[GarbledGate]
+    #: mapping output wire -> (hash of zero-label, hash of one-label) so the
+    #: evaluator can decode output bits without learning other wires.
+    output_decoding: Dict[int, Tuple[bytes, bytes]]
+
+    def serialized_size(self) -> int:
+        """Approximate wire-format size in bytes (for bandwidth accounting)."""
+        total = 0
+        for gate in self.gates:
+            total += sum(len(row) for row in gate.rows) + 8
+        total += len(self.output_decoding) * 2 * 32
+        return total
+
+
+@dataclass
+class GarblerOutput:
+    """The garbler's full view: the garbled circuit plus all wire labels."""
+
+    garbled: GarbledCircuit
+    wire_labels: Dict[int, _WirePair]
+
+    def garbler_input_labels(self, bits: Sequence[int]) -> List[WireLabel]:
+        """Select the garbler's own active input labels."""
+        wires = self.garbled.circuit.garbler_inputs
+        if len(bits) != len(wires):
+            raise GarblingError("wrong number of garbler input bits")
+        return [self.wire_labels[w].for_value(int(b) & 1) for w, b in zip(wires, bits)]
+
+    def evaluator_label_pairs(self) -> List[Tuple[bytes, bytes]]:
+        """Both labels for every evaluator input wire (fed into the OTs)."""
+        pairs = []
+        for wire in self.garbled.circuit.evaluator_inputs:
+            pair = self.wire_labels[wire]
+            pairs.append((pair.zero.to_bytes(), pair.one.to_bytes()))
+        return pairs
+
+
+def _encrypt_row(key_a: bytes, key_b: bytes, gate_index: int, payload: bytes) -> bytes:
+    """Dual-key one-time-pad encryption via SHA-256 (random-oracle style)."""
+    pad = hashlib.sha256(key_a + key_b + gate_index.to_bytes(4, "big")).digest()
+    if len(payload) > len(pad):
+        raise GarblingError("payload longer than pad")
+    return bytes(p ^ q for p, q in zip(payload, pad[: len(payload)]))
+
+
+def _label_digest(label: WireLabel) -> bytes:
+    return hashlib.sha256(b"output-decode" + label.key).digest()
+
+
+def _random_label(rng: Optional[random.Random]) -> bytes:
+    if rng is None:
+        return secrets.token_bytes(LABEL_BYTES)
+    return bytes(rng.getrandbits(8) for _ in range(LABEL_BYTES))
+
+
+def garble_circuit(circuit: Circuit, rng: Optional[random.Random] = None) -> GarblerOutput:
+    """Garble a boolean circuit.
+
+    Args:
+        circuit: the plain circuit to garble.
+        rng: optional deterministic random source (tests); defaults to the
+            OS CSPRNG.
+
+    Returns:
+        the garbler's output (garbled tables plus all wire-label pairs).
+    """
+    labels: Dict[int, _WirePair] = {}
+
+    def ensure_labels(wire: int) -> _WirePair:
+        if wire not in labels:
+            permute = (rng.getrandbits(1) if rng is not None else secrets.randbelow(2))
+            labels[wire] = _WirePair(
+                zero=WireLabel(key=_random_label(rng), external_bit=permute),
+                one=WireLabel(key=_random_label(rng), external_bit=1 - permute),
+            )
+        return labels[wire]
+
+    for wire in list(circuit.garbler_inputs) + list(circuit.evaluator_inputs):
+        ensure_labels(wire)
+
+    garbled_gates: List[GarbledGate] = []
+    for gate_index, gate in enumerate(circuit.gates):
+        if gate.gate_type == GateType.NOT:
+            # Free NOT: the output wire reuses the input labels with truth
+            # values swapped, so no garbled table is required.
+            in_pair = ensure_labels(gate.input_wires[0])
+            labels[gate.output_wire] = _WirePair(zero=in_pair.one, one=in_pair.zero)
+            garbled_gates.append(
+                GarbledGate(
+                    gate_type=gate.gate_type,
+                    input_wires=gate.input_wires,
+                    output_wire=gate.output_wire,
+                    rows=(),
+                )
+            )
+            continue
+
+        pair_a = ensure_labels(gate.input_wires[0])
+        pair_b = ensure_labels(gate.input_wires[1])
+        pair_out = ensure_labels(gate.output_wire)
+        table = TRUTH_TABLES[gate.gate_type]
+
+        rows: List[bytes] = [b""] * 4
+        for bit_a in (0, 1):
+            for bit_b in (0, 1):
+                label_a = pair_a.for_value(bit_a)
+                label_b = pair_b.for_value(bit_b)
+                out_label = pair_out.for_value(table[(bit_a, bit_b)])
+                row_index = label_a.external_bit * 2 + label_b.external_bit
+                rows[row_index] = _encrypt_row(
+                    label_a.key, label_b.key, gate_index, out_label.to_bytes()
+                )
+        garbled_gates.append(
+            GarbledGate(
+                gate_type=gate.gate_type,
+                input_wires=gate.input_wires,
+                output_wire=gate.output_wire,
+                rows=tuple(rows),
+            )
+        )
+
+    output_decoding = {
+        wire: (_label_digest(labels[wire].zero), _label_digest(labels[wire].one))
+        for wire in circuit.output_wires
+    }
+    garbled = GarbledCircuit(circuit=circuit, gates=garbled_gates, output_decoding=output_decoding)
+    return GarblerOutput(garbled=garbled, wire_labels=labels)
+
+
+def evaluate_garbled_circuit(
+    garbled: GarbledCircuit,
+    garbler_labels: Sequence[WireLabel],
+    evaluator_labels: Sequence[WireLabel],
+) -> List[int]:
+    """Evaluate a garbled circuit given active input labels.
+
+    Args:
+        garbled: the garbled circuit (tables + output decoding info).
+        garbler_labels: active labels for the garbler's input wires.
+        evaluator_labels: active labels for the evaluator's input wires.
+
+    Returns:
+        the decoded output bits in circuit output order.
+    """
+    circuit = garbled.circuit
+    if len(garbler_labels) != len(circuit.garbler_inputs):
+        raise GarblingError("wrong number of garbler labels")
+    if len(evaluator_labels) != len(circuit.evaluator_inputs):
+        raise GarblingError("wrong number of evaluator labels")
+
+    active: Dict[int, WireLabel] = {}
+    for wire, label in zip(circuit.garbler_inputs, garbler_labels):
+        active[wire] = label
+    for wire, label in zip(circuit.evaluator_inputs, evaluator_labels):
+        active[wire] = label
+
+    for gate_index, ggate in enumerate(garbled.gates):
+        if ggate.gate_type == GateType.NOT:
+            active[ggate.output_wire] = active[ggate.input_wires[0]]
+            continue
+        label_a = active[ggate.input_wires[0]]
+        label_b = active[ggate.input_wires[1]]
+        row_index = label_a.external_bit * 2 + label_b.external_bit
+        row = ggate.rows[row_index]
+        plaintext = _encrypt_row(label_a.key, label_b.key, gate_index, row)
+        active[ggate.output_wire] = WireLabel.from_bytes(plaintext)
+
+    outputs: List[int] = []
+    for wire in circuit.output_wires:
+        label = active[wire]
+        digest = _label_digest(label)
+        zero_digest, one_digest = garbled.output_decoding[wire]
+        if digest == zero_digest:
+            outputs.append(0)
+        elif digest == one_digest:
+            outputs.append(1)
+        else:
+            raise GarblingError(f"output wire {wire} produced an unrecognized label")
+    return outputs
+
+
+@dataclass
+class TwoPartyComputationResult:
+    """Result of an in-process two-party garbled-circuit execution."""
+
+    output_bits: List[int]
+    #: bytes the garbler sent (garbled tables + its input labels + OT traffic).
+    garbler_bytes_sent: int
+    #: bytes the evaluator sent (OT choice messages).
+    evaluator_bytes_sent: int
+
+
+def run_two_party_computation(
+    circuit: Circuit,
+    garbler_bits: Sequence[int],
+    evaluator_bits: Sequence[int],
+    rng: Optional[random.Random] = None,
+    ot_group: Optional[OTGroup] = None,
+) -> TwoPartyComputationResult:
+    """Run the full Yao protocol between two in-process parties.
+
+    The garbler garbles the circuit and sends tables + its own active input
+    labels; the evaluator obtains its input labels via oblivious transfer and
+    evaluates.  Byte counts are tracked so the PEM network layer can charge
+    the comparison to the two participating agents (Table I).
+    """
+    garbler_out = garble_circuit(circuit, rng=rng)
+    garbler_labels = garbler_out.garbler_input_labels(garbler_bits)
+
+    label_pairs = garbler_out.evaluator_label_pairs()
+    recovered, ot_bytes = run_oblivious_transfer(
+        label_pairs, [int(b) & 1 for b in evaluator_bits], rng=rng, group=ot_group
+    )
+    evaluator_labels = [WireLabel.from_bytes(data) for data in recovered]
+
+    output_bits = evaluate_garbled_circuit(garbler_out.garbled, garbler_labels, evaluator_labels)
+
+    garbler_bytes = (
+        garbler_out.garbled.serialized_size()
+        + len(garbler_labels) * (LABEL_BYTES + 1)
+        + ot_bytes
+    )
+    evaluator_bytes = len(evaluator_bits) * ((OTGroup.default().p.bit_length() + 7) // 8)
+    return TwoPartyComputationResult(
+        output_bits=output_bits,
+        garbler_bytes_sent=garbler_bytes,
+        evaluator_bytes_sent=evaluator_bytes,
+    )

@@ -1,0 +1,34 @@
+"""Dataset substrate: synthetic UMass Smart*-like generation and load traces.
+
+The real Smart* dataset the paper evaluates on is not redistributable, so
+this package synthesizes traces with the same qualitative structure (see
+DESIGN.md for the substitution rationale) and provides a CSV layout through
+which real traces can be dropped in instead.
+"""
+
+from .loader import WindowSlice, iter_windows, load_dataset_csv, save_dataset_csv
+from .profiles import HouseholdProfile, ProfilePopulation, sample_population
+from .traces import (
+    TRADING_START_HOUR,
+    WINDOWS_PER_DAY,
+    HomeTrace,
+    TraceConfig,
+    TraceDataset,
+    generate_dataset,
+)
+
+__all__ = [
+    "WindowSlice",
+    "iter_windows",
+    "load_dataset_csv",
+    "save_dataset_csv",
+    "HouseholdProfile",
+    "ProfilePopulation",
+    "sample_population",
+    "TRADING_START_HOUR",
+    "WINDOWS_PER_DAY",
+    "HomeTrace",
+    "TraceConfig",
+    "TraceDataset",
+    "generate_dataset",
+]

@@ -1,0 +1,137 @@
+"""Persistence and windowing helpers for trace datasets.
+
+Provides CSV round-tripping (so a user can substitute the real UMass Smart*
+traces by exporting them to the same layout) and per-window slicing used by
+the trading engine.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List
+
+import numpy as np
+
+from .profiles import HouseholdProfile
+from .traces import HomeTrace, TraceConfig, TraceDataset
+
+__all__ = ["WindowSlice", "iter_windows", "save_dataset_csv", "load_dataset_csv"]
+
+
+@dataclass(frozen=True)
+class WindowSlice:
+    """The data the market needs for a single trading window.
+
+    Attributes:
+        window: window index.
+        home_ids: ids of all homes, aligned with the arrays below.
+        generation_kwh: per-home generation in this window.
+        load_kwh: per-home load in this window.
+    """
+
+    window: int
+    home_ids: List[str]
+    generation_kwh: List[float]
+    load_kwh: List[float]
+
+
+def iter_windows(dataset: TraceDataset, start: int = 0, stop: int | None = None) -> Iterator[WindowSlice]:
+    """Iterate over :class:`WindowSlice` objects for a range of windows."""
+    stop = dataset.window_count if stop is None else stop
+    if not (0 <= start <= stop <= dataset.window_count):
+        raise ValueError(f"invalid window range [{start}, {stop})")
+    home_ids = [h.profile.home_id for h in dataset.homes]
+    for window in range(start, stop):
+        yield WindowSlice(
+            window=window,
+            home_ids=home_ids,
+            generation_kwh=[float(h.generation_kwh[window]) for h in dataset.homes],
+            load_kwh=[float(h.load_kwh[window]) for h in dataset.homes],
+        )
+
+
+_PROFILE_FIELDS = [
+    "home_id",
+    "pv_capacity_kw",
+    "base_load_kw",
+    "peak_load_kw",
+    "battery_capacity_kwh",
+    "battery_loss_coefficient",
+    "preference_k",
+]
+
+
+def save_dataset_csv(dataset: TraceDataset, directory: str | Path) -> None:
+    """Save a dataset as ``profiles.csv`` plus ``traces.csv``.
+
+    ``traces.csv`` has one row per (home, window) with generation and load in
+    kWh — the same logical layout as the UMass Smart* per-home files, so real
+    traces can be converted into this format and loaded with
+    :func:`load_dataset_csv`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "profiles.csv", "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_PROFILE_FIELDS)
+        writer.writeheader()
+        for home in dataset.homes:
+            profile = home.profile
+            writer.writerow({name: getattr(profile, name) for name in _PROFILE_FIELDS})
+
+    with open(directory / "traces.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["home_id", "window", "generation_kwh", "load_kwh"])
+        for home in dataset.homes:
+            for window in range(home.window_count):
+                writer.writerow(
+                    [
+                        home.profile.home_id,
+                        window,
+                        f"{float(home.generation_kwh[window]):.6f}",
+                        f"{float(home.load_kwh[window]):.6f}",
+                    ]
+                )
+
+
+def load_dataset_csv(directory: str | Path, config: TraceConfig | None = None) -> TraceDataset:
+    """Load a dataset previously written by :func:`save_dataset_csv`."""
+    directory = Path(directory)
+    profiles: dict[str, HouseholdProfile] = {}
+    with open(directory / "profiles.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            profile = HouseholdProfile(
+                home_id=row["home_id"],
+                pv_capacity_kw=float(row["pv_capacity_kw"]),
+                base_load_kw=float(row["base_load_kw"]),
+                peak_load_kw=float(row["peak_load_kw"]),
+                battery_capacity_kwh=float(row["battery_capacity_kwh"]),
+                battery_loss_coefficient=float(row["battery_loss_coefficient"]),
+                preference_k=float(row["preference_k"]),
+            )
+            profiles[profile.home_id] = profile
+
+    series: dict[str, dict[int, tuple[float, float]]] = {hid: {} for hid in profiles}
+    max_window = -1
+    with open(directory / "traces.csv", newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader)  # header
+        for home_id, window, generation, load in reader:
+            w = int(window)
+            series[home_id][w] = (float(generation), float(load))
+            max_window = max(max_window, w)
+
+    window_count = max_window + 1
+    homes: List[HomeTrace] = []
+    for home_id, profile in profiles.items():
+        generation = np.zeros(window_count)
+        load = np.zeros(window_count)
+        for window, (g, l) in series[home_id].items():
+            generation[window] = g
+            load[window] = l
+        homes.append(HomeTrace(profile=profile, generation_kwh=generation, load_kwh=load))
+
+    config = config or TraceConfig(home_count=len(homes), window_count=window_count)
+    return TraceDataset(config=config, homes=homes)

@@ -1,0 +1,125 @@
+"""Household profiles for the synthetic Smart*-like dataset.
+
+The paper's evaluation uses real generation/load traces of 300 smart homes
+from the UMass Trace Repository (Smart* / SmartCap).  That dataset is not
+redistributable here, so :mod:`repro.data.traces` synthesizes traces with
+the same qualitative structure; this module defines the per-household
+parameters the generator draws from:
+
+* PV capacity (kW peak) — most homes have small rooftop arrays, a few have
+  large ones, and some homes have no PV at all (they are always buyers),
+* base load and peak load levels with morning/evening usage peaks,
+* optional battery capacity and loss coefficient ``ε_i``,
+* the load-behaviour preference parameter ``k_i`` of the seller utility
+  function (Eq. 4 in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["HouseholdProfile", "ProfilePopulation", "sample_population"]
+
+
+@dataclass(frozen=True)
+class HouseholdProfile:
+    """Static parameters of one smart home.
+
+    Attributes:
+        home_id: stable identifier (``"home-017"``).
+        pv_capacity_kw: peak solar output; 0 means no local generation.
+        base_load_kw: always-on load (refrigeration, standby, HVAC base).
+        peak_load_kw: additional load at the morning/evening activity peaks.
+        battery_capacity_kwh: usable battery capacity (0 means no battery).
+        battery_loss_coefficient: the paper's ``ε_i`` in (0, 1).
+        preference_k: the paper's ``k_i > 0`` load-behaviour preference.
+    """
+
+    home_id: str
+    pv_capacity_kw: float
+    base_load_kw: float
+    peak_load_kw: float
+    battery_capacity_kwh: float
+    battery_loss_coefficient: float
+    preference_k: float
+
+    def __post_init__(self) -> None:
+        if self.pv_capacity_kw < 0:
+            raise ValueError("pv_capacity_kw must be non-negative")
+        if self.base_load_kw < 0 or self.peak_load_kw < 0:
+            raise ValueError("load levels must be non-negative")
+        if self.battery_capacity_kwh < 0:
+            raise ValueError("battery capacity must be non-negative")
+        if not (0.0 < self.battery_loss_coefficient < 1.0):
+            raise ValueError("battery loss coefficient must lie in (0, 1)")
+        if self.preference_k <= 0:
+            raise ValueError("preference_k must be positive")
+
+    @property
+    def has_pv(self) -> bool:
+        return self.pv_capacity_kw > 0
+
+    @property
+    def has_battery(self) -> bool:
+        return self.battery_capacity_kwh > 0
+
+
+@dataclass(frozen=True)
+class ProfilePopulation:
+    """Distribution parameters used to sample a population of households."""
+
+    pv_ownership_rate: float = 0.65
+    pv_capacity_range_kw: tuple[float, float] = (1.0, 2.8)
+    base_load_range_kw: tuple[float, float] = (0.3, 0.8)
+    peak_load_range_kw: tuple[float, float] = (1.5, 3.5)
+    battery_ownership_rate: float = 0.4
+    battery_capacity_range_kwh: tuple[float, float] = (4.0, 12.0)
+    battery_loss_range: tuple[float, float] = (0.85, 0.98)
+    preference_k_range: tuple[float, float] = (120.0, 250.0)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.pv_ownership_rate <= 1.0):
+            raise ValueError("pv_ownership_rate must be a probability")
+        if not (0.0 <= self.battery_ownership_rate <= 1.0):
+            raise ValueError("battery_ownership_rate must be a probability")
+
+
+def sample_population(
+    count: int,
+    rng: random.Random,
+    population: ProfilePopulation | None = None,
+) -> list[HouseholdProfile]:
+    """Sample ``count`` household profiles.
+
+    Args:
+        count: number of homes (the paper uses 100--300).
+        rng: random source controlling the draw (callers seed it).
+        population: optional distribution parameters.
+
+    Returns:
+        a list of :class:`HouseholdProfile`.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    population = population or ProfilePopulation()
+    profiles: list[HouseholdProfile] = []
+    for index in range(count):
+        has_pv = rng.random() < population.pv_ownership_rate
+        pv_capacity = rng.uniform(*population.pv_capacity_range_kw) if has_pv else 0.0
+        has_battery = has_pv and rng.random() < population.battery_ownership_rate
+        battery_capacity = (
+            rng.uniform(*population.battery_capacity_range_kwh) if has_battery else 0.0
+        )
+        profiles.append(
+            HouseholdProfile(
+                home_id=f"home-{index:03d}",
+                pv_capacity_kw=pv_capacity,
+                base_load_kw=rng.uniform(*population.base_load_range_kw),
+                peak_load_kw=rng.uniform(*population.peak_load_range_kw),
+                battery_capacity_kwh=battery_capacity,
+                battery_loss_coefficient=rng.uniform(*population.battery_loss_range),
+                preference_k=rng.uniform(*population.preference_k_range),
+            )
+        )
+    return profiles

@@ -1,0 +1,27 @@
+"""Simulated communication substrate for the PEM reproduction.
+
+Replaces the paper's per-agent Docker containers + TCP links with an
+in-process message fabric that preserves the properties the evaluation
+depends on: every protocol message is serialized to real bytes (bandwidth,
+Table I), every message and crypto operation can be charged to a calibrated
+cost model (runtime, Figure 5), and each party only ever observes its own
+inbox (privacy auditing).
+"""
+
+from .costmodel import CostModel, CryptoCostModel, NetworkCostModel
+from .message import Message, MessageKind
+from .network import NetworkError, Party, SimulatedNetwork
+from .stats import PartyTraffic, TrafficStats
+
+__all__ = [
+    "CostModel",
+    "CryptoCostModel",
+    "NetworkCostModel",
+    "Message",
+    "MessageKind",
+    "NetworkError",
+    "Party",
+    "SimulatedNetwork",
+    "PartyTraffic",
+    "TrafficStats",
+]

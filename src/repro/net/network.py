@@ -1,0 +1,203 @@
+"""In-process simulated network of PEM parties.
+
+Each smart home in the paper's prototype runs in its own Docker container;
+here every party is a :class:`Party` object registered with a
+:class:`SimulatedNetwork`.  The network delivers messages synchronously (the
+protocols are sequential round-based anyway), records traffic statistics and
+charges simulated time through the :class:`~repro.net.costmodel.CostModel`.
+
+The network also enforces a simple secure-channel discipline: messages can
+only be exchanged between registered parties, and a party can only read its
+own inbox — which is what lets the privacy auditor
+(:mod:`repro.core.adversary`) reason about exactly which bytes each party
+observed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+from .costmodel import CostModel
+from .message import Message, MessageKind
+from .stats import TrafficStats
+
+__all__ = ["NetworkError", "Party", "SimulatedNetwork"]
+
+
+class NetworkError(Exception):
+    """Raised on misuse of the simulated network (unknown party, etc.)."""
+
+
+class Party:
+    """A network endpoint owned by one agent (or the grid operator).
+
+    Parties never share Python object references for private state; all
+    inter-party communication goes through :meth:`send` / :meth:`receive`,
+    which is what makes the transcript collected by the adversary model an
+    accurate record of each party's view.
+    """
+
+    def __init__(self, party_id: str, network: "SimulatedNetwork") -> None:
+        self.party_id = party_id
+        self._network = network
+        self._inbox: Deque[Message] = deque()
+        #: full log of messages this party received (its protocol "view").
+        self.received_log: List[Message] = []
+        #: full log of messages this party sent.
+        self.sent_log: List[Message] = []
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(
+        self,
+        recipient: str,
+        kind: MessageKind,
+        payload: bytes = b"",
+        metadata: Optional[dict] = None,
+    ) -> Message:
+        """Send a unicast message to ``recipient``."""
+        message = Message(
+            sender=self.party_id,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            metadata=metadata or {},
+        )
+        self._network.deliver(message)
+        self.sent_log.append(message)
+        return message
+
+    def broadcast(
+        self,
+        recipients: Iterable[str],
+        kind: MessageKind,
+        payload: bytes = b"",
+        metadata: Optional[dict] = None,
+    ) -> List[Message]:
+        """Send the same message to every party in ``recipients`` (except self)."""
+        sent = []
+        for recipient in recipients:
+            if recipient == self.party_id:
+                continue
+            sent.append(self.send(recipient, kind, payload, metadata))
+        return sent
+
+    # -- receiving -------------------------------------------------------------
+
+    def _enqueue(self, message: Message) -> None:
+        self._inbox.append(message)
+        self.received_log.append(message)
+
+    def receive(self, kind: Optional[MessageKind] = None) -> Message:
+        """Pop the next message from the inbox, optionally filtered by kind."""
+        if kind is None:
+            if not self._inbox:
+                raise NetworkError(f"{self.party_id}: inbox empty")
+            return self._inbox.popleft()
+        for index, message in enumerate(self._inbox):
+            if message.kind == kind:
+                del self._inbox[index]
+                return message
+        raise NetworkError(f"{self.party_id}: no pending message of kind {kind.value}")
+
+    def receive_all(self, kind: Optional[MessageKind] = None) -> List[Message]:
+        """Pop all pending messages (optionally of one kind)."""
+        if kind is None:
+            drained = list(self._inbox)
+            self._inbox.clear()
+            return drained
+        kept: Deque[Message] = deque()
+        drained = []
+        while self._inbox:
+            message = self._inbox.popleft()
+            if message.kind == kind:
+                drained.append(message)
+            else:
+                kept.append(message)
+        self._inbox = kept
+        return drained
+
+    def pending_count(self) -> int:
+        return len(self._inbox)
+
+
+class SimulatedNetwork:
+    """The message fabric connecting all PEM parties.
+
+    Args:
+        cost_model: optional cost model; when provided, every message and
+            every crypto operation charged via :meth:`charge_crypto_time`
+            advances the simulated clock.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self._parties: Dict[str, Party] = {}
+        self.stats = TrafficStats()
+        self.cost_model = cost_model
+        self._message_hooks: List[Callable[[Message], None]] = []
+
+    # -- party management --------------------------------------------------------
+
+    def register(self, party_id: str) -> Party:
+        """Create and register a new party endpoint."""
+        if party_id in self._parties:
+            raise NetworkError(f"party {party_id!r} already registered")
+        party = Party(party_id, self)
+        self._parties[party_id] = party
+        return party
+
+    def party(self, party_id: str) -> Party:
+        try:
+            return self._parties[party_id]
+        except KeyError:
+            raise NetworkError(f"unknown party {party_id!r}") from None
+
+    @property
+    def party_ids(self) -> List[str]:
+        return list(self._parties)
+
+    def add_message_hook(self, hook: Callable[[Message], None]) -> None:
+        """Register a callback invoked for every delivered message.
+
+        Used by the adversary/transcript machinery and by tests that assert
+        on wire contents without modifying protocol code.
+        """
+        self._message_hooks.append(hook)
+
+    # -- delivery ----------------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Deliver a unicast message, updating the traffic statistics.
+
+        Bandwidth is charged per message; *time* is charged explicitly by
+        the protocols through :meth:`charge_crypto_time`, because the
+        critical-path runtime depends on whether messages are sequential
+        (chain hops) or concurrent (broadcasts, pairwise routing).
+        """
+        if message.sender not in self._parties:
+            raise NetworkError(f"unknown sender {message.sender!r}")
+        if message.recipient not in self._parties:
+            raise NetworkError(f"unknown recipient {message.recipient!r}")
+        size = message.byte_size()
+        self.stats.record_send(message.sender, message.recipient, size, kind=message.kind.value)
+        for hook in self._message_hooks:
+            hook(message)
+        self._parties[message.recipient]._enqueue(message)
+
+    # -- cost accounting ---------------------------------------------------------
+
+    def charge_crypto_time(self, seconds: float) -> None:
+        """Advance the simulated clock by a crypto-operation cost."""
+        if self.cost_model is not None and seconds > 0:
+            self.stats.add_time(seconds)
+
+    def charge_extra_traffic(self, party_id: str, sent: int = 0, received: int = 0) -> None:
+        """Charge out-of-band traffic (garbled circuit / OT bytes) to a party."""
+        self.stats.record_extra_bytes(party_id, sent=sent, received=received)
+
+    def reset_stats(self) -> TrafficStats:
+        """Swap in a fresh stats object and return the old one."""
+        old = self.stats
+        self.stats = TrafficStats()
+        return old

@@ -1,0 +1,114 @@
+"""Traffic and cost accounting for the simulated PEM network.
+
+Collects per-party and global statistics: messages sent/received, bytes
+sent/received, and simulated computation/communication time.  These feed the
+reproduction of Table I (average bandwidth per smart home) and Figure 5
+(runtime scaling).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+__all__ = ["PartyTraffic", "TrafficStats"]
+
+
+@dataclass
+class PartyTraffic:
+    """Traffic counters for a single party."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def merge(self, other: "PartyTraffic") -> None:
+        self.messages_sent += other.messages_sent
+        self.messages_received += other.messages_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated traffic statistics for a network or a protocol run."""
+
+    per_party: Dict[str, PartyTraffic] = field(default_factory=lambda: defaultdict(PartyTraffic))
+    total_messages: int = 0
+    total_bytes: int = 0
+    #: bytes broken down by message kind (e.g. "market_aggregate", "payment").
+    bytes_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: simulated wall-clock seconds accumulated by the cost model.
+    simulated_seconds: float = 0.0
+
+    def record_send(self, sender: str, recipient: str, size: int, kind: str = "other") -> None:
+        """Record one unicast message of ``size`` bytes."""
+        self.per_party[sender].messages_sent += 1
+        self.per_party[sender].bytes_sent += size
+        self.per_party[recipient].messages_received += 1
+        self.per_party[recipient].bytes_received += size
+        self.total_messages += 1
+        self.total_bytes += size
+        self.bytes_by_kind[kind] += size
+
+    def bytes_for_kinds(self, kinds) -> int:
+        """Total bytes of the given message kinds."""
+        return sum(self.bytes_by_kind.get(kind, 0) for kind in kinds)
+
+    def record_extra_bytes(
+        self, party: str, sent: int = 0, received: int = 0, kind: str = "out_of_band"
+    ) -> None:
+        """Charge additional bytes to a party (e.g. garbled-circuit traffic)."""
+        self.per_party[party].bytes_sent += sent
+        self.per_party[party].bytes_received += received
+        self.total_bytes += sent + received
+        self.bytes_by_kind[kind] += sent + received
+
+    def add_time(self, seconds: float) -> None:
+        """Accumulate simulated time."""
+        self.simulated_seconds += seconds
+
+    def merge(self, other: "TrafficStats") -> None:
+        """Merge another stats object into this one (e.g. per-window totals)."""
+        for party, traffic in other.per_party.items():
+            self.per_party[party].merge(traffic)
+        self.total_messages += other.total_messages
+        self.total_bytes += other.total_bytes
+        for kind, size in other.bytes_by_kind.items():
+            self.bytes_by_kind[kind] += size
+        self.simulated_seconds += other.simulated_seconds
+
+    def average_bytes_per_party(self, parties: Iterable[str] | None = None) -> float:
+        """Average total traffic (sent + received) across parties, in bytes.
+
+        Args:
+            parties: restrict the average to these party ids; default is all
+                parties that appear in the counters.
+        """
+        ids = list(parties) if parties is not None else list(self.per_party)
+        if not ids:
+            return 0.0
+        total = sum(self.per_party[p].total_bytes for p in ids if p in self.per_party)
+        return total / len(ids)
+
+    def average_megabytes_per_party(self, parties: Iterable[str] | None = None) -> float:
+        """Average per-party traffic in megabytes (the unit of Table I)."""
+        return self.average_bytes_per_party(parties) / (1024 * 1024)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Return a plain-dict snapshot (for reporting / JSON output)."""
+        return {
+            party: {
+                "messages_sent": t.messages_sent,
+                "messages_received": t.messages_received,
+                "bytes_sent": t.bytes_sent,
+                "bytes_received": t.bytes_received,
+            }
+            for party, t in self.per_party.items()
+        }

@@ -1,0 +1,99 @@
+"""Tests for evaluation metrics and text reporting."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    average_cost_saving,
+    coalition_size_series,
+    cost_comparison,
+    grid_interaction_comparison,
+    price_series,
+    seller_utility_comparison,
+)
+from repro.analysis.reporting import downsample, render_series, render_table
+from repro.core import PAPER_PARAMETERS
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+def test_coalition_size_series(small_day, small_dataset):
+    series = coalition_size_series(small_day)
+    assert len(series.windows) == small_dataset.window_count
+    assert series.max_buyer_size <= small_dataset.home_count
+    assert series.max_seller_size <= small_dataset.home_count
+
+
+def test_price_series_counts(small_day):
+    series = price_series(small_day, PAPER_PARAMETERS)
+    total = len(series.prices)
+    assert series.count_at_retail() + series.count_in_band() == total
+    assert series.count_at_lower_bound() <= series.count_in_band()
+
+
+def test_cost_comparison_savings_non_negative(small_day):
+    comparison = cost_comparison(small_day)
+    assert comparison.total_with_pem <= comparison.total_without_pem + 1e-9
+    assert 0.0 <= comparison.overall_saving_fraction <= 1.0
+
+
+def test_grid_interaction_reduction_non_negative(small_day):
+    comparison = grid_interaction_comparison(small_day)
+    assert comparison.total_reduction_kwh >= -1e-9
+    assert 0.0 <= comparison.reduction_fraction <= 1.0
+
+
+def test_seller_utility_comparison(small_day, small_dataset):
+    # Pick the home with the largest PV array: a seller in many windows.
+    best = max(small_dataset.homes, key=lambda h: h.profile.pv_capacity_kw)
+    comparison = seller_utility_comparison(small_day, best.profile.home_id)
+    assert comparison.mean_improvement >= -1e-9
+    assert len(comparison.with_pem) == len(small_day.windows)
+
+
+def test_average_cost_saving_market_only_not_smaller(small_day):
+    overall = average_cost_saving(small_day, market_windows_only=False)
+    market_only = average_cost_saving(small_day, market_windows_only=True)
+    assert market_only >= overall - 1e-12
+
+
+# -- reporting --------------------------------------------------------------------
+
+
+def test_render_table_alignment_and_title():
+    text = render_table(
+        [{"m": 300, "mb": 0.45}, {"m": 720, "mb": 0.46}],
+        columns=["m", "mb"],
+        title="Table I",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Table I"
+    assert "m" in lines[1] and "mb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_empty():
+    assert render_table([], title="empty") == "empty\n"
+    assert render_table([]) == ""
+
+
+def test_downsample_bounds():
+    values = list(range(1000))
+    sampled = downsample(values, max_points=24)
+    assert len(sampled) == 24
+    assert sampled[0] == 0
+    short = downsample([1, 2, 3], max_points=24)
+    assert short == [1, 2, 3]
+
+
+def test_render_series_includes_all_labels():
+    text = render_series(
+        "Fig X",
+        list(range(100)),
+        {"with_pem": [1.0] * 100, "without_pem": [2.0] * 100},
+        max_points=10,
+    )
+    assert "Fig X" in text
+    assert "with_pem" in text
+    assert "without_pem" in text
+    assert len(text.splitlines()) == 13

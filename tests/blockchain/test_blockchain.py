@@ -1,0 +1,145 @@
+"""Tests for the consortium settlement chain (blocks, consensus, ledger)."""
+
+import pytest
+
+from repro.blockchain import (
+    Block,
+    ConsensusError,
+    ConsortiumChain,
+    GENESIS_PREVIOUS_HASH,
+    RoundRobinConsensus,
+    SettlementTransaction,
+    Validator,
+)
+
+
+def tx(window=0, seller="s1", buyer="b1", energy=0.5, price=95.0, payment=None):
+    return SettlementTransaction(
+        window=window,
+        seller_id=seller,
+        buyer_id=buyer,
+        energy_kwh=energy,
+        payment=payment if payment is not None else price * energy,
+        price=price,
+    )
+
+
+def make_chain(validator_count=4, faulty=0):
+    validators = [
+        Validator(validator_id=f"v{i}", faulty=i < faulty) for i in range(validator_count)
+    ]
+    return ConsortiumChain(consensus=RoundRobinConsensus(validators=validators))
+
+
+# -- transactions and blocks ----------------------------------------------------
+
+
+def test_transaction_id_is_deterministic():
+    assert tx().transaction_id() == tx().transaction_id()
+    assert tx().transaction_id() != tx(energy=0.6).transaction_id()
+
+
+def test_transaction_consistency_rule():
+    assert tx().is_consistent()
+    assert not tx(payment=1.0).is_consistent()
+
+
+def test_merkle_root_changes_with_contents():
+    a = Block(index=1, previous_hash="x", proposer_id="v0", transactions=[tx()])
+    b = Block(index=1, previous_hash="x", proposer_id="v0", transactions=[tx(energy=0.7)])
+    empty = Block(index=1, previous_hash="x", proposer_id="v0")
+    assert a.merkle_root() != b.merkle_root()
+    assert a.merkle_root() != empty.merkle_root()
+    assert a.block_hash() != b.block_hash()
+
+
+def test_block_contains():
+    transaction = tx()
+    block = Block(index=1, previous_hash="x", proposer_id="v0", transactions=[transaction])
+    assert block.contains(transaction.transaction_id())
+    assert not block.contains("missing")
+
+
+# -- consensus --------------------------------------------------------------------
+
+
+def test_round_robin_rotates_proposers():
+    consensus = RoundRobinConsensus(validators=[Validator(f"v{i}") for i in range(3)])
+    order = [consensus.next_proposer().validator_id for _ in range(4)]
+    assert order == ["v0", "v1", "v2", "v0"]
+
+
+def test_round_robin_skips_faulty_proposer():
+    consensus = RoundRobinConsensus(
+        validators=[Validator("v0", faulty=True), Validator("v1"), Validator("v2")]
+    )
+    assert consensus.next_proposer().validator_id == "v1"
+
+
+def test_all_faulty_raises():
+    consensus = RoundRobinConsensus(validators=[Validator("v0", faulty=True)])
+    with pytest.raises(ConsensusError):
+        consensus.next_proposer()
+
+
+def test_quorum_size():
+    consensus = RoundRobinConsensus(validators=[Validator(f"v{i}") for i in range(4)])
+    assert consensus.quorum_size == 3
+
+
+def test_block_rejected_without_quorum():
+    # 3 of 4 validators faulty: only 1 vote, quorum is 3.
+    chain = make_chain(validator_count=4, faulty=3)
+    with pytest.raises(ConsensusError):
+        chain.append_transactions([tx()])
+
+
+def test_inconsistent_transaction_blocks_quorum():
+    chain = make_chain()
+    with pytest.raises(ConsensusError):
+        chain.append_transactions([tx(payment=1.0)])
+
+
+def test_consensus_validation_rules():
+    with pytest.raises(ConsensusError):
+        RoundRobinConsensus(validators=[])
+    with pytest.raises(ConsensusError):
+        RoundRobinConsensus(validators=[Validator("v0")], quorum_fraction=0.1)
+
+
+# -- chain -------------------------------------------------------------------------
+
+
+def test_genesis_block_created():
+    chain = make_chain()
+    assert chain.height == 0
+    assert chain.head.previous_hash == GENESIS_PREVIOUS_HASH
+
+
+def test_append_and_verify():
+    chain = make_chain()
+    block = chain.append_transactions([tx(window=1), tx(window=1, buyer="b2")])
+    assert chain.height == 1
+    assert block.votes
+    assert chain.verify()
+
+
+def test_verify_detects_tampering():
+    chain = make_chain()
+    chain.append_transactions([tx(window=1)])
+    chain.append_transactions([tx(window=2)])
+    assert chain.verify()
+    # Tamper with an earlier block's contents: hash links must break.
+    chain.blocks[1].transactions[0] = tx(window=1, energy=99.0)
+    assert not chain.verify()
+
+
+def test_balances_and_queries():
+    chain = make_chain()
+    chain.append_transactions([tx(window=1, seller="alice", buyer="bob", energy=1.0, price=100.0)])
+    chain.append_transactions([tx(window=2, seller="carol", buyer="alice", energy=0.5, price=90.0)])
+    assert chain.balance_of("alice") == pytest.approx(100.0 - 45.0)
+    assert chain.balance_of("bob") == pytest.approx(-100.0)
+    assert chain.energy_delivered_to("alice") == pytest.approx(0.5)
+    assert len(chain.transactions_for_window(1)) == 1
+    assert len(chain.all_transactions()) == 2

@@ -1,0 +1,87 @@
+"""Shared fixtures for the PEM reproduction test suite.
+
+Crypto-heavy fixtures use deliberately small Paillier keys and small agent
+populations so the full suite stays fast; the protocols themselves are
+key-size agnostic, and the benchmark harness exercises the paper's real key
+sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import PAPER_PARAMETERS, PlainTradingEngine
+from repro.core.pem import build_agents, states_for_window
+from repro.core.protocols import ProtocolConfig
+from repro.crypto import generate_keypair
+from repro.data import TraceConfig, generate_dataset
+from repro.data.loader import iter_windows
+from repro.data.profiles import ProfilePopulation
+
+#: Small key size used across unit tests (fast but structurally identical).
+TEST_KEY_SIZE = 128
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic random source for tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def keypair():
+    """A small Paillier key pair shared by crypto unit tests."""
+    return generate_keypair(TEST_KEY_SIZE, random.Random(42))
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 16-home, 90-window synthetic dataset (fast to trade over)."""
+    return generate_dataset(TraceConfig(home_count=16, window_count=90, seed=11))
+
+
+@pytest.fixture(scope="session")
+def market_dataset():
+    """A 24-home midday dataset in which markets reliably form.
+
+    Windows are generated for the full day so the midday indices carry
+    meaningful generation; tests slice the midday region.
+    """
+    return generate_dataset(TraceConfig(home_count=24, window_count=720, seed=7))
+
+
+@pytest.fixture(scope="session")
+def midday_states(market_dataset):
+    """Agent window states of a midday window with both coalitions non-empty."""
+    agents = build_agents(market_dataset)
+    engine = PlainTradingEngine(PAPER_PARAMETERS)
+    chosen = None
+    for window_slice in iter_windows(market_dataset, stop=400):
+        states = states_for_window(agents, window_slice)
+        if window_slice.window < 300:
+            continue
+        result = engine.run_window(window_slice.window, states)
+        if result.case.value == "general" and len(result.coalitions.sellers) >= 3:
+            chosen = states
+            break
+    assert chosen is not None, "no general-market window found in the fixture dataset"
+    return chosen
+
+
+@pytest.fixture(scope="session")
+def plain_engine():
+    return PlainTradingEngine(PAPER_PARAMETERS)
+
+
+@pytest.fixture()
+def protocol_config():
+    """Protocol configuration with a small key and a shared key pool."""
+    return ProtocolConfig(key_size=TEST_KEY_SIZE, key_pool_size=4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_day(small_dataset, plain_engine):
+    """A full plaintext trading-day result over the small dataset."""
+    return plain_engine.run_day(small_dataset)

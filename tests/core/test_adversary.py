@@ -1,0 +1,79 @@
+"""Tests for the semi-honest transcript collector and privacy auditor."""
+
+import pytest
+
+from repro.core.adversary import (
+    CheatingSellerSpec,
+    PrivacyAuditor,
+    TranscriptCollector,
+    apply_cheating,
+)
+from repro.core.agent import AgentWindowState
+from repro.net import MessageKind, SimulatedNetwork
+
+
+def state(agent_id: str, net: float) -> AgentWindowState:
+    return AgentWindowState(
+        agent_id=agent_id,
+        window=0,
+        generation_kwh=max(net, 0.0),
+        load_kwh=max(-net, 0.0),
+        battery_kwh=0.0,
+        battery_loss_coefficient=0.9,
+        preference_k=123.456,
+    )
+
+
+def test_transcript_collector_records_views():
+    network = SimulatedNetwork()
+    alice = network.register("alice")
+    network.register("bob")
+    collector = TranscriptCollector(network)
+    alice.send("bob", MessageKind.GENERIC, payload=b"abc", metadata={"x": 1})
+    assert collector.view("bob").payload_bytes() == 3
+    assert collector.view("alice").received == []
+
+
+def test_auditor_flags_plaintext_leak():
+    states = [state("alice", 0.25), state("bob", -0.4)]
+    network = SimulatedNetwork()
+    alice = network.register("alice")
+    network.register("bob")
+    collector = TranscriptCollector(network)
+    # Alice leaks her exact net energy in a non-output message's metadata.
+    alice.send("bob", MessageKind.MARKET_AGGREGATE, metadata={"oops": 0.25})
+    auditor = PrivacyAuditor(states)
+    findings = auditor.audit(collector)
+    assert findings
+    assert findings[0].owner_id == "alice"
+    assert findings[0].observer_id == "bob"
+    with pytest.raises(AssertionError):
+        auditor.assert_no_leak(collector)
+
+
+def test_auditor_ignores_public_output_messages():
+    states = [state("alice", 0.25), state("bob", -0.4)]
+    network = SimulatedNetwork()
+    alice = network.register("alice")
+    network.register("bob")
+    collector = TranscriptCollector(network)
+    # Energy routing necessarily reveals the routed amount; it is an output.
+    alice.send("bob", MessageKind.ENERGY_ROUTE, metadata={"kwh": 0.25})
+    PrivacyAuditor(states).assert_no_leak(collector)
+
+
+def test_auditor_ignores_ciphertext_payloads():
+    states = [state("alice", 0.25), state("bob", -0.4)]
+    network = SimulatedNetwork()
+    alice = network.register("alice")
+    network.register("bob")
+    collector = TranscriptCollector(network)
+    alice.send("bob", MessageKind.MARKET_AGGREGATE, payload=b"\x99" * 64, metadata={"hop": 3})
+    PrivacyAuditor(states).assert_no_leak(collector)
+
+
+def test_apply_cheating_scales_load():
+    states = [state("alice", -0.4), state("bob", -0.2)]
+    cheated = apply_cheating(states, [CheatingSellerSpec(agent_id="alice", load_scale=2.0)])
+    assert cheated[0].load_kwh == pytest.approx(0.8)
+    assert cheated[1].load_kwh == pytest.approx(0.2)

@@ -1,0 +1,125 @@
+"""Unit tests for agents, battery policies and per-window states."""
+
+import pytest
+
+from repro.core.agent import (
+    AgentRole,
+    AgentWindowState,
+    GreedyBatteryPolicy,
+    NoBatteryPolicy,
+    SmartHomeAgent,
+)
+from repro.data.profiles import HouseholdProfile
+
+
+def make_profile(battery_kwh=8.0, pv_kw=3.0) -> HouseholdProfile:
+    return HouseholdProfile(
+        home_id="home-x",
+        pv_capacity_kw=pv_kw,
+        base_load_kw=0.5,
+        peak_load_kw=2.0,
+        battery_capacity_kwh=battery_kwh,
+        battery_loss_coefficient=0.9,
+        preference_k=150.0,
+    )
+
+
+def make_state(generation=0.1, load=0.05, battery=0.0) -> AgentWindowState:
+    return AgentWindowState(
+        agent_id="home-x",
+        window=0,
+        generation_kwh=generation,
+        load_kwh=load,
+        battery_kwh=battery,
+        battery_loss_coefficient=0.9,
+        preference_k=150.0,
+    )
+
+
+def test_net_energy_equation():
+    state = make_state(generation=0.5, load=0.2, battery=0.1)
+    assert state.net_energy_kwh == pytest.approx(0.2)
+
+
+def test_role_classification():
+    assert make_state(generation=0.2, load=0.1).role == AgentRole.SELLER
+    assert make_state(generation=0.05, load=0.1).role == AgentRole.BUYER
+    assert make_state(generation=0.1, load=0.1).role == AgentRole.OFF_MARKET
+
+
+def test_rate_conversion():
+    state = make_state(generation=0.1, load=0.05)
+    # 0.1 kWh over a 1-minute window is a 6 kW average rate.
+    assert state.generation_rate_kw == pytest.approx(6.0)
+    assert state.load_rate_kw == pytest.approx(3.0)
+
+
+def test_pricing_denominator_term():
+    state = make_state(generation=0.1, load=0.05, battery=0.01)
+    expected = 6.0 + 1.0 + 0.9 * 0.6 - 0.6
+    assert state.pricing_denominator_term() == pytest.approx(expected)
+
+
+def test_no_battery_policy():
+    policy = NoBatteryPolicy()
+    assert policy.battery_action(make_profile(), 4.0, 1.0, 0.2) == 0.0
+
+
+def test_greedy_policy_charges_on_surplus():
+    policy = GreedyBatteryPolicy(charge_fraction=0.5, max_rate_fraction=1.0)
+    action = policy.battery_action(make_profile(), 0.0, 1.0, 0.2)
+    assert action == pytest.approx(0.4)
+
+
+def test_greedy_policy_discharges_on_deficit():
+    policy = GreedyBatteryPolicy(discharge_fraction=0.5, max_rate_fraction=1.0)
+    action = policy.battery_action(make_profile(), 4.0, 0.0, 1.0)
+    assert action == pytest.approx(-0.5)
+
+
+def test_greedy_policy_respects_capacity_and_charge_limits():
+    policy = GreedyBatteryPolicy(charge_fraction=1.0, max_rate_fraction=1.0)
+    profile = make_profile(battery_kwh=1.0)
+    # Nearly full battery: can only absorb the remaining headroom.
+    assert policy.battery_action(profile, 0.9, 5.0, 0.0) == pytest.approx(0.1)
+    # Empty battery cannot discharge.
+    discharge = GreedyBatteryPolicy(discharge_fraction=1.0).battery_action(profile, 0.0, 0.0, 1.0)
+    assert discharge == 0.0
+
+
+def test_greedy_policy_no_battery_home():
+    policy = GreedyBatteryPolicy()
+    assert policy.battery_action(make_profile(battery_kwh=0.0), 0.0, 1.0, 0.0) == 0.0
+
+
+def test_agent_tracks_state_of_charge():
+    agent = SmartHomeAgent(
+        make_profile(),
+        battery_policy=GreedyBatteryPolicy(charge_fraction=1.0, max_rate_fraction=1.0),
+        initial_charge_fraction=0.0,
+    )
+    state = agent.observe_window(0, generation_kwh=1.0, load_kwh=0.2)
+    assert state.battery_kwh > 0
+    assert agent.state_of_charge_kwh == pytest.approx(state.battery_kwh * 0.9)
+    # Discharge later.
+    state2 = agent.observe_window(1, generation_kwh=0.0, load_kwh=1.0)
+    assert state2.battery_kwh < 0
+    assert agent.state_of_charge_kwh >= 0.0
+
+
+def test_agent_rejects_negative_traces():
+    agent = SmartHomeAgent(make_profile())
+    with pytest.raises(ValueError):
+        agent.observe_window(0, generation_kwh=-1.0, load_kwh=0.0)
+
+
+def test_agent_defaults_policy_by_battery_ownership():
+    with_battery = SmartHomeAgent(make_profile())
+    without_battery = SmartHomeAgent(make_profile(battery_kwh=0.0))
+    assert isinstance(with_battery.battery_policy, GreedyBatteryPolicy)
+    assert isinstance(without_battery.battery_policy, NoBatteryPolicy)
+
+
+def test_agent_invalid_initial_charge():
+    with pytest.raises(ValueError):
+        SmartHomeAgent(make_profile(), initial_charge_fraction=1.5)

@@ -1,0 +1,77 @@
+"""Tests for individual rationality and incentive compatibility (Theorem 2)."""
+
+import pytest
+
+from repro.core import PAPER_PARAMETERS, PlainTradingEngine
+from repro.core.incentives import (
+    check_individual_rationality,
+    evaluate_buyer_misreport,
+    evaluate_seller_misreport,
+)
+
+
+def test_individual_rationality_on_market_window(midday_states, plain_engine):
+    result = plain_engine.run_window(midday_states[0].window, midday_states)
+    report = check_individual_rationality(result)
+    assert report.holds
+    assert report.all_sellers_rational
+    assert report.all_buyers_rational
+    assert len(report.seller_gains) == len(result.seller_utilities)
+
+
+def test_individual_rationality_across_small_day(small_day):
+    for window in small_day.windows:
+        assert check_individual_rationality(window).holds
+
+
+def test_seller_misreport_not_profitable(midday_states):
+    result = PlainTradingEngine(PAPER_PARAMETERS).run_window(
+        midday_states[0].window, midday_states
+    )
+    seller_ids = list(result.seller_utilities)[:3]
+    for seller_id in seller_ids:
+        for scale in (0.5, 2.0, 5.0):
+            outcome = evaluate_seller_misreport(midday_states, seller_id, load_scale=scale)
+            assert not outcome.is_profitable(tolerance=1e-6), (
+                f"seller {seller_id} profited from load_scale={scale}: gain {outcome.gain}"
+            )
+
+
+def test_buyer_misreport_not_profitable(midday_states):
+    result = PlainTradingEngine(PAPER_PARAMETERS).run_window(
+        midday_states[0].window, midday_states
+    )
+    buyer_ids = list(result.buyer_costs)[:3]
+    for buyer_id in buyer_ids:
+        for scale in (0.5, 2.0, 4.0):
+            outcome = evaluate_buyer_misreport(midday_states, buyer_id, demand_scale=scale)
+            assert not outcome.is_profitable(tolerance=1e-6), (
+                f"buyer {buyer_id} profited from demand_scale={scale}: gain {outcome.gain}"
+            )
+
+
+def test_misreport_validation(midday_states):
+    with pytest.raises(ValueError):
+        evaluate_seller_misreport(midday_states, midday_states[0].agent_id, load_scale=0.0)
+    with pytest.raises(ValueError):
+        evaluate_buyer_misreport(midday_states, midday_states[0].agent_id, demand_scale=-1.0)
+
+
+def test_misreport_requires_matching_role(midday_states, plain_engine):
+    result = plain_engine.run_window(midday_states[0].window, midday_states)
+    some_buyer = next(iter(result.buyer_costs))
+    some_seller = next(iter(result.seller_utilities))
+    with pytest.raises(KeyError):
+        evaluate_seller_misreport(midday_states, some_buyer, load_scale=0.5)
+    with pytest.raises(KeyError):
+        evaluate_buyer_misreport(midday_states, some_seller, demand_scale=2.0)
+
+
+def test_manipulation_outcome_gain_sign():
+    from repro.core.incentives import ManipulationOutcome
+
+    better = ManipulationOutcome(agent_id="a", truthful_payoff=1.0, manipulated_payoff=2.0)
+    worse = ManipulationOutcome(agent_id="a", truthful_payoff=2.0, manipulated_payoff=1.0)
+    assert better.gain == pytest.approx(1.0)
+    assert better.is_profitable()
+    assert not worse.is_profitable()

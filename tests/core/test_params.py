@@ -1,0 +1,45 @@
+"""Unit tests for market parameters."""
+
+import pytest
+
+from repro.core import PAPER_PARAMETERS, MarketParameters
+
+
+def test_paper_parameters_match_section_vii():
+    assert PAPER_PARAMETERS.retail_price == 120.0
+    assert PAPER_PARAMETERS.feed_in_price == 80.0
+    assert PAPER_PARAMETERS.price_lower_bound == 90.0
+    assert PAPER_PARAMETERS.price_upper_bound == 110.0
+
+
+def test_price_ordering_enforced():
+    # pb_g < pl <= ph < ps_g (Eq. 3).
+    with pytest.raises(ValueError):
+        MarketParameters(feed_in_price=95.0, price_lower_bound=90.0)
+    with pytest.raises(ValueError):
+        MarketParameters(price_lower_bound=111.0, price_upper_bound=110.0)
+    with pytest.raises(ValueError):
+        MarketParameters(price_upper_bound=125.0, retail_price=120.0)
+
+
+def test_clamp_price():
+    assert PAPER_PARAMETERS.clamp_price(100.0) == 100.0
+    assert PAPER_PARAMETERS.clamp_price(50.0) == 90.0
+    assert PAPER_PARAMETERS.clamp_price(200.0) == 110.0
+    assert PAPER_PARAMETERS.clamp_price(90.0) == 90.0
+    assert PAPER_PARAMETERS.clamp_price(110.0) == 110.0
+
+
+def test_contains():
+    assert PAPER_PARAMETERS.contains(90.0)
+    assert PAPER_PARAMETERS.contains(110.0)
+    assert not PAPER_PARAMETERS.contains(89.999)
+    assert not PAPER_PARAMETERS.contains(110.001)
+
+
+def test_custom_band():
+    params = MarketParameters(
+        retail_price=30.0, feed_in_price=10.0, price_lower_bound=15.0, price_upper_bound=25.0
+    )
+    assert params.clamp_price(12.0) == 15.0
+    assert params.clamp_price(28.0) == 25.0

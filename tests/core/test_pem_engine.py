@@ -1,0 +1,104 @@
+"""Tests for the plaintext PEM trading engine over the synthetic dataset."""
+
+import pytest
+
+from repro.core import PAPER_PARAMETERS, PlainTradingEngine
+from repro.core.agent import NoBatteryPolicy
+from repro.core.market import MarketCase
+
+
+def test_full_day_produces_result_per_window(small_day, small_dataset):
+    assert len(small_day) == small_dataset.window_count
+    assert [w.window for w in small_day.windows] == list(range(small_dataset.window_count))
+
+
+def test_prices_always_valid(small_day):
+    for window in small_day.windows:
+        if window.case == MarketCase.NO_MARKET:
+            assert window.clearing_price == PAPER_PARAMETERS.retail_price
+        else:
+            assert PAPER_PARAMETERS.contains(window.clearing_price)
+
+
+def test_extreme_windows_priced_at_lower_bound(small_day):
+    for window in small_day.windows:
+        if window.case == MarketCase.EXTREME:
+            assert window.clearing_price == PAPER_PARAMETERS.price_lower_bound
+
+
+def test_buyer_costs_never_exceed_baseline(small_day):
+    for window in small_day.windows:
+        for buyer_id, cost in window.buyer_costs.items():
+            assert cost <= window.baseline_buyer_costs[buyer_id] + 1e-9
+
+
+def test_seller_utilities_never_below_baseline(small_day):
+    for window in small_day.windows:
+        for seller_id, utility in window.seller_utilities.items():
+            assert utility >= window.baseline_seller_utilities[seller_id] - 1e-9
+
+
+def test_grid_interaction_never_exceeds_baseline(small_day):
+    for window in small_day.windows:
+        assert window.grid_interaction_kwh <= window.baseline.grid_interaction_kwh + 1e-9
+
+
+def test_coalitions_cover_all_homes(small_day, small_dataset):
+    for window in small_day.windows:
+        total = (
+            len(window.coalitions.sellers)
+            + len(window.coalitions.buyers)
+            + len(window.coalitions.off_market)
+        )
+        assert total == small_dataset.home_count
+
+
+def test_home_count_restriction(small_dataset, plain_engine):
+    day = plain_engine.run_day(small_dataset, home_count=5)
+    for window in day.windows:
+        total = (
+            len(window.coalitions.sellers)
+            + len(window.coalitions.buyers)
+            + len(window.coalitions.off_market)
+        )
+        assert total == 5
+
+
+def test_window_selection_consistent_with_full_run(small_dataset, plain_engine):
+    """Selecting windows must not change their outcome vs. a full-day run."""
+    full = plain_engine.run_day(small_dataset)
+    partial = plain_engine.run_day(small_dataset, windows=[40, 40, 60])
+    full_by_window = {w.window: w for w in full.windows}
+    for window in partial.windows:
+        reference = full_by_window[window.window]
+        assert window.clearing_price == pytest.approx(reference.clearing_price)
+        assert window.buyer_coalition_cost == pytest.approx(reference.buyer_coalition_cost)
+
+
+def test_battery_policy_override(small_dataset, plain_engine):
+    day = plain_engine.run_day(small_dataset, battery_policy=NoBatteryPolicy())
+    for window in day.windows:
+        for seller in window.coalitions.sellers:
+            assert seller.battery_kwh == 0.0
+
+
+def test_day_level_series_lengths(small_day, small_dataset):
+    assert len(small_day.prices) == small_dataset.window_count
+    assert len(small_day.seller_coalition_sizes) == small_dataset.window_count
+    assert len(small_day.buyer_costs_with_pem) == small_dataset.window_count
+    assert len(small_day.grid_interaction_with_pem) == small_dataset.window_count
+
+
+def test_cost_saving_fraction_bounds(small_day):
+    for window in small_day.windows:
+        assert -1e-9 <= window.cost_saving_fraction <= 1.0
+    assert 0.0 <= small_day.average_cost_saving_fraction() <= 1.0
+
+
+def test_clearing_present_exactly_when_market_exists(small_day):
+    for window in small_day.windows:
+        if window.case == MarketCase.NO_MARKET:
+            assert window.clearing is None
+        else:
+            assert window.clearing is not None
+            assert window.clearing.traded_energy_kwh > 0

@@ -1,0 +1,113 @@
+"""Unit and property tests for the boolean circuit builders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.circuits import (
+    Circuit,
+    CircuitBuilder,
+    Gate,
+    GateType,
+    bits_to_int,
+    build_adder_circuit,
+    build_greater_than_circuit,
+    int_to_bits,
+)
+
+
+def test_int_to_bits_roundtrip():
+    for value in (0, 1, 5, 127, 128, 255):
+        assert bits_to_int(int_to_bits(value, 8)) == value
+
+
+def test_int_to_bits_validation():
+    with pytest.raises(ValueError):
+        int_to_bits(-1, 8)
+    with pytest.raises(ValueError):
+        int_to_bits(256, 8)
+
+
+def test_gate_arity_validation():
+    with pytest.raises(ValueError):
+        Gate(gate_type=GateType.AND, input_wires=(0,), output_wire=1)
+    with pytest.raises(ValueError):
+        Gate(gate_type=GateType.NOT, input_wires=(0, 1), output_wire=2)
+
+
+def test_basic_gates_via_builder():
+    builder = CircuitBuilder()
+    a = builder.garbler_input()
+    b = builder.evaluator_input()
+    circuit = builder.build(
+        [builder.gate_and(a, b), builder.gate_or(a, b), builder.gate_xor(a, b), builder.gate_not(a)]
+    )
+    for bit_a in (0, 1):
+        for bit_b in (0, 1):
+            and_, or_, xor_, not_ = circuit.evaluate([bit_a], [bit_b])
+            assert and_ == (bit_a & bit_b)
+            assert or_ == (bit_a | bit_b)
+            assert xor_ == (bit_a ^ bit_b)
+            assert not_ == (1 - bit_a)
+
+
+def test_mux_gate():
+    builder = CircuitBuilder()
+    sel = builder.garbler_input()
+    x = builder.evaluator_input()
+    y = builder.evaluator_input()
+    circuit = builder.build([builder.gate_mux(sel, x, y)])
+    assert circuit.evaluate([1], [1, 0]) == [1]
+    assert circuit.evaluate([0], [1, 0]) == [0]
+    assert circuit.evaluate([0], [0, 1]) == [1]
+
+
+def test_circuit_input_count_validation():
+    circuit = build_greater_than_circuit(4)
+    with pytest.raises(ValueError):
+        circuit.evaluate([1, 0], [0, 0, 0, 0])
+    with pytest.raises(ValueError):
+        circuit.evaluate([1, 0, 0, 0], [0])
+
+
+def test_comparator_exhaustive_small():
+    circuit = build_greater_than_circuit(4)
+    for a in range(16):
+        for b in range(16):
+            result = circuit.evaluate(int_to_bits(a, 4), int_to_bits(b, 4))[0]
+            assert result == int(a > b), f"{a} > {b}"
+
+
+def test_adder_exhaustive_small():
+    circuit = build_adder_circuit(4)
+    for a in range(16):
+        for b in range(16):
+            result = bits_to_int(circuit.evaluate(int_to_bits(a, 4), int_to_bits(b, 4)))
+            assert result == (a + b) % 16
+
+
+def test_and_gate_count_positive():
+    circuit = build_greater_than_circuit(16)
+    assert circuit.and_gate_count > 0
+    assert circuit.and_gate_count < len(circuit.gates)
+
+
+def test_builders_reject_zero_width():
+    with pytest.raises(ValueError):
+        build_greater_than_circuit(0)
+    with pytest.raises(ValueError):
+        build_adder_circuit(0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=2**32 - 1))
+def test_comparator_property_32bit(a, b):
+    circuit = build_greater_than_circuit(32)
+    assert circuit.evaluate(int_to_bits(a, 32), int_to_bits(b, 32))[0] == int(a > b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_adder_property_8bit(a, b):
+    circuit = build_adder_circuit(8)
+    assert bits_to_int(circuit.evaluate(int_to_bits(a, 8), int_to_bits(b, 8))) == (a + b) % 256

@@ -1,0 +1,116 @@
+"""Unit and property tests for the Yao garbled-circuit machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.circuits import (
+    bits_to_int,
+    build_adder_circuit,
+    build_greater_than_circuit,
+    int_to_bits,
+)
+from repro.crypto.garbled import (
+    GarblingError,
+    WireLabel,
+    evaluate_garbled_circuit,
+    garble_circuit,
+    run_two_party_computation,
+)
+
+
+def _evaluate_with_known_labels(circuit, garbler_bits, evaluator_bits, rng):
+    """Garble and evaluate handing the evaluator its labels directly (no OT)."""
+    out = garble_circuit(circuit, rng=rng)
+    garbler_labels = out.garbler_input_labels(garbler_bits)
+    evaluator_labels = [
+        out.wire_labels[w].for_value(b)
+        for w, b in zip(circuit.evaluator_inputs, evaluator_bits)
+    ]
+    return evaluate_garbled_circuit(out.garbled, garbler_labels, evaluator_labels)
+
+
+def test_garbled_matches_plain_comparator_exhaustive():
+    circuit = build_greater_than_circuit(4)
+    rng = random.Random(0)
+    for a in range(16):
+        for b in range(16):
+            garbled = _evaluate_with_known_labels(
+                circuit, int_to_bits(a, 4), int_to_bits(b, 4), rng
+            )
+            assert garbled == circuit.evaluate(int_to_bits(a, 4), int_to_bits(b, 4))
+
+
+def test_garbled_adder_matches_plain():
+    circuit = build_adder_circuit(6)
+    rng = random.Random(1)
+    for a, b in [(0, 0), (1, 1), (13, 50), (63, 63), (32, 31)]:
+        garbled = _evaluate_with_known_labels(circuit, int_to_bits(a, 6), int_to_bits(b, 6), rng)
+        assert bits_to_int(garbled) == (a + b) % 64
+
+
+def test_wire_label_validation():
+    with pytest.raises(GarblingError):
+        WireLabel(key=b"short", external_bit=0)
+    with pytest.raises(GarblingError):
+        WireLabel(key=b"\x00" * 16, external_bit=2)
+    with pytest.raises(GarblingError):
+        WireLabel.from_bytes(b"\x00" * 3)
+
+
+def test_wire_label_serialization_roundtrip():
+    label = WireLabel(key=bytes(range(16)), external_bit=1)
+    assert WireLabel.from_bytes(label.to_bytes()) == label
+
+
+def test_evaluation_rejects_wrong_label_count():
+    circuit = build_greater_than_circuit(4)
+    out = garble_circuit(circuit, rng=random.Random(2))
+    with pytest.raises(GarblingError):
+        evaluate_garbled_circuit(out.garbled, [], [])
+
+
+def test_evaluation_detects_corrupted_labels():
+    circuit = build_greater_than_circuit(4)
+    out = garble_circuit(circuit, rng=random.Random(3))
+    garbler_labels = out.garbler_input_labels(int_to_bits(5, 4))
+    bogus = [WireLabel(key=b"\xaa" * 16, external_bit=0) for _ in circuit.evaluator_inputs]
+    with pytest.raises(GarblingError):
+        evaluate_garbled_circuit(out.garbled, garbler_labels, bogus)
+
+
+def test_garbler_input_label_count_checked():
+    circuit = build_greater_than_circuit(4)
+    out = garble_circuit(circuit, rng=random.Random(4))
+    with pytest.raises(GarblingError):
+        out.garbler_input_labels([1, 0])
+
+
+def test_serialized_size_positive_and_scales():
+    small = garble_circuit(build_greater_than_circuit(4), rng=random.Random(5))
+    large = garble_circuit(build_greater_than_circuit(16), rng=random.Random(5))
+    assert 0 < small.garbled.serialized_size() < large.garbled.serialized_size()
+
+
+def test_full_two_party_protocol_with_ot():
+    result = run_two_party_computation(
+        build_greater_than_circuit(16),
+        int_to_bits(40_000, 16),
+        int_to_bits(39_999, 16),
+        rng=random.Random(6),
+    )
+    assert result.output_bits == [1]
+    assert result.garbler_bytes_sent > 0
+    assert result.evaluator_bytes_sent > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_garbled_comparator_property(a, b):
+    circuit = build_greater_than_circuit(8)
+    rng = random.Random(a * 257 + b)
+    assert _evaluate_with_known_labels(circuit, int_to_bits(a, 8), int_to_bits(b, 8), rng) == [
+        int(a > b)
+    ]

@@ -1,0 +1,100 @@
+"""Unit tests for the 1-out-of-2 oblivious transfer."""
+
+import random
+
+import pytest
+
+from repro.crypto.ot import (
+    OTError,
+    OTGroup,
+    OTReceiver,
+    OTSender,
+    run_oblivious_transfer,
+)
+from repro.crypto.primes import is_probable_prime
+
+
+def test_default_group_is_safe_prime_subgroup():
+    group = OTGroup.default()
+    assert is_probable_prime(group.p)
+    assert is_probable_prime(group.q)
+    assert group.p == 2 * group.q + 1
+    # The generator has order q (it is a quadratic residue).
+    assert pow(group.g, group.q, group.p) == 1
+
+
+def test_receiver_gets_chosen_message():
+    rng = random.Random(1)
+    for choice in (0, 1):
+        sender = OTSender(b"message-zero!!!!", b"message-one!!!!!", rng=rng)
+        receiver = OTReceiver(choice, rng=rng)
+        setup = sender.setup()
+        pair = sender.respond(receiver.choose(setup))
+        recovered = receiver.recover(pair)
+        expected = b"message-zero!!!!" if choice == 0 else b"message-one!!!!!"
+        assert recovered == expected
+
+
+def test_receiver_does_not_get_other_message():
+    rng = random.Random(2)
+    sender = OTSender(b"A" * 17, b"B" * 17, rng=rng)
+    receiver = OTReceiver(0, rng=rng)
+    setup = sender.setup()
+    pair = sender.respond(receiver.choose(setup))
+    assert receiver.recover(pair) == b"A" * 17
+    # Decrypting the other ciphertext with the receiver's secret must not
+    # yield the other message (the pads are keyed to different public keys).
+    other_pad_guess = bytes(
+        x ^ y for x, y in zip(pair.ciphertext_one, receiver.recover(pair))
+    )
+    assert other_pad_guess != b"B" * 17
+
+
+def test_messages_must_have_equal_length():
+    with pytest.raises(OTError):
+        OTSender(b"short", b"a bit longer")
+
+
+def test_invalid_choice_bit_rejected():
+    with pytest.raises(OTError):
+        OTReceiver(2)
+
+
+def test_respond_requires_setup():
+    sender = OTSender(b"x" * 8, b"y" * 8)
+    receiver = OTReceiver(1)
+    other = OTSender(b"x" * 8, b"y" * 8)
+    setup = other.setup()
+    with pytest.raises(OTError):
+        sender.respond(receiver.choose(setup))
+
+
+def test_recover_requires_choose():
+    receiver = OTReceiver(0)
+    sender = OTSender(b"x" * 8, b"y" * 8)
+    setup = sender.setup()
+    helper = OTReceiver(0)
+    pair = sender.respond(helper.choose(setup))
+    with pytest.raises(OTError):
+        receiver.recover(pair)
+
+
+def test_batch_transfer_and_byte_accounting():
+    rng = random.Random(3)
+    pairs = [(bytes([i] * 17), bytes([i + 100] * 17)) for i in range(6)]
+    choices = [0, 1, 0, 1, 1, 0]
+    recovered, transferred = run_oblivious_transfer(pairs, choices, rng=rng)
+    for (m0, m1), choice, got in zip(pairs, choices, recovered):
+        assert got == (m1 if choice else m0)
+    assert transferred > 0
+
+
+def test_batch_transfer_length_mismatch():
+    with pytest.raises(OTError):
+        run_oblivious_transfer([(b"a" * 4, b"b" * 4)], [0, 1])
+
+
+def test_fresh_group_generation():
+    group = OTGroup.generate(bits=32, rng=random.Random(4))
+    assert is_probable_prime(group.p)
+    assert group.p.bit_length() == 32

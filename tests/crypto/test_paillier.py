@@ -1,0 +1,129 @@
+"""Unit tests for the Paillier cryptosystem."""
+
+import random
+
+import pytest
+
+from repro.crypto.paillier import (
+    PaillierCiphertext,
+    PaillierError,
+    PaillierPublicKey,
+    generate_keypair,
+    homomorphic_sum,
+)
+
+
+def test_roundtrip_positive(keypair):
+    for value in (0, 1, 42, 10**6, keypair.public_key.max_plaintext):
+        assert keypair.private_key.decrypt(keypair.public_key.encrypt(value)) == value
+
+
+def test_roundtrip_negative(keypair):
+    for value in (-1, -42, -(10**6), -keypair.public_key.max_plaintext):
+        assert keypair.private_key.decrypt(keypair.public_key.encrypt(value)) == value
+
+
+def test_encryption_is_randomized(keypair):
+    a = keypair.public_key.encrypt(7)
+    b = keypair.public_key.encrypt(7)
+    assert a.value != b.value
+    assert keypair.private_key.decrypt(a) == keypair.private_key.decrypt(b) == 7
+
+
+def test_homomorphic_addition(keypair):
+    c = keypair.public_key.encrypt(100) + keypair.public_key.encrypt(-30)
+    assert keypair.private_key.decrypt(c) == 70
+
+
+def test_homomorphic_plaintext_addition(keypair):
+    c = keypair.public_key.encrypt(100) + 23
+    assert keypair.private_key.decrypt(c) == 123
+
+
+def test_homomorphic_scalar_multiplication(keypair):
+    c = keypair.public_key.encrypt(12) * 5
+    assert keypair.private_key.decrypt(c) == 60
+    c = 3 * keypair.public_key.encrypt(-7)
+    assert keypair.private_key.decrypt(c) == -21
+
+
+def test_homomorphic_subtraction_and_negation(keypair):
+    a = keypair.public_key.encrypt(50)
+    b = keypair.public_key.encrypt(8)
+    assert keypair.private_key.decrypt(a - b) == 42
+    assert keypair.private_key.decrypt(a - 10) == 40
+    assert keypair.private_key.decrypt(-a) == -50
+
+
+def test_plaintext_out_of_range_rejected(keypair):
+    limit = keypair.public_key.max_plaintext
+    with pytest.raises(PaillierError):
+        keypair.public_key.encrypt(limit + 1)
+    with pytest.raises(PaillierError):
+        keypair.public_key.encrypt(-limit - 1)
+
+
+def test_overflow_detection(keypair):
+    limit = keypair.public_key.max_plaintext
+    big = keypair.public_key.encrypt(limit)
+    overflowed = big + keypair.public_key.encrypt(limit)
+    with pytest.raises(PaillierError):
+        keypair.private_key.decrypt(overflowed)
+
+
+def test_serialization_roundtrip(keypair):
+    c = keypair.public_key.encrypt(987654321)
+    data = c.to_bytes()
+    assert len(data) == keypair.public_key.ciphertext_byte_length()
+    restored = PaillierCiphertext.from_bytes(data, keypair.public_key)
+    assert keypair.private_key.decrypt(restored) == 987654321
+
+
+def test_serialization_rejects_wrong_length(keypair):
+    with pytest.raises(PaillierError):
+        PaillierCiphertext.from_bytes(b"\x01\x02", keypair.public_key)
+
+
+def test_cross_key_operations_rejected(keypair):
+    other = generate_keypair(128, random.Random(99))
+    a = keypair.public_key.encrypt(1)
+    b = other.public_key.encrypt(2)
+    with pytest.raises(PaillierError):
+        _ = a + b
+    with pytest.raises(PaillierError):
+        other.private_key.decrypt(a)
+
+
+def test_homomorphic_sum_empty_is_zero(keypair):
+    total = homomorphic_sum([], keypair.public_key)
+    assert keypair.private_key.decrypt(total) == 0
+
+
+def test_homomorphic_sum_many(keypair):
+    values = [3, -1, 10, 55, -20]
+    cts = [keypair.public_key.encrypt(v) for v in values]
+    assert keypair.private_key.decrypt(homomorphic_sum(cts, keypair.public_key)) == sum(values)
+
+
+def test_keypair_generation_properties():
+    kp = generate_keypair(128, random.Random(5))
+    assert kp.public_key.n.bit_length() == 128
+    assert kp.key_size == 128
+    assert kp.private_key.p * kp.private_key.q == kp.public_key.n
+
+
+def test_keypair_rejects_small_key():
+    with pytest.raises(PaillierError):
+        generate_keypair(32)
+
+
+def test_public_key_validation():
+    with pytest.raises(PaillierError):
+        PaillierPublicKey(n=4)
+
+
+def test_encrypt_zero_rerandomizes(keypair):
+    c = keypair.public_key.encrypt(5)
+    rerandomized = c + keypair.public_key.encrypt_zero()
+    assert rerandomized.value != c.value
+    assert keypair.private_key.decrypt(rerandomized) == 5

@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for Paillier and fixed-point encoding."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.paillier import generate_keypair
+
+# One shared small key pair for all property tests (module import time).
+_KEYPAIR = generate_keypair(128, random.Random(2024))
+_LIMIT = _KEYPAIR.public_key.max_plaintext
+
+# Keep values far from the overflow bound so that sums of two stay valid.
+values = st.integers(min_value=-(_LIMIT // 4), max_value=_LIMIT // 4)
+scalars = st.integers(min_value=-1000, max_value=1000)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values)
+def test_encrypt_decrypt_roundtrip(value):
+    ct = _KEYPAIR.public_key.encrypt(value)
+    assert _KEYPAIR.private_key.decrypt(ct) == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(values, values)
+def test_homomorphic_addition_property(a, b):
+    ct = _KEYPAIR.public_key.encrypt(a) + _KEYPAIR.public_key.encrypt(b)
+    assert _KEYPAIR.private_key.decrypt(ct) == a + b
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=-(_LIMIT // 2000), max_value=_LIMIT // 2000), scalars)
+def test_homomorphic_scalar_property(a, k):
+    # |a * k| stays within the representable plaintext range by construction.
+    ct = _KEYPAIR.public_key.encrypt(a) * k
+    assert _KEYPAIR.private_key.decrypt(ct) == a * k
+
+
+@settings(max_examples=40, deadline=None)
+@given(values, values)
+def test_homomorphic_addition_commutes(a, b):
+    ct_ab = _KEYPAIR.public_key.encrypt(a) + _KEYPAIR.public_key.encrypt(b)
+    ct_ba = _KEYPAIR.public_key.encrypt(b) + _KEYPAIR.public_key.encrypt(a)
+    assert _KEYPAIR.private_key.decrypt(ct_ab) == _KEYPAIR.private_key.decrypt(ct_ba)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False))
+def test_fixedpoint_roundtrip_within_resolution(value):
+    codec = FixedPointCodec(precision=4)
+    decoded = codec.decode(codec.encode(value))
+    assert abs(decoded - value) <= codec.resolution() / 2 + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False),
+)
+def test_fixedpoint_addition_compatible_with_encoding(a, b):
+    codec = FixedPointCodec(precision=4)
+    encoded_sum = codec.encode(a) + codec.encode(b)
+    assert abs(codec.decode(encoded_sum) - (a + b)) <= codec.resolution() + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_encrypted_fixedpoint_aggregation_matches_float_sum(values_list):
+    codec = FixedPointCodec(precision=4)
+    total = None
+    for value in values_list:
+        ct = _KEYPAIR.public_key.encrypt(codec.encode(value))
+        total = ct if total is None else total + ct
+    decrypted = codec.decode(_KEYPAIR.private_key.decrypt(total))
+    assert abs(decrypted - sum(values_list)) <= len(values_list) * codec.resolution()

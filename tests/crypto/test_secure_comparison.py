@@ -1,0 +1,63 @@
+"""Tests for the Fairplay-style secure comparison wrapper."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.secure_comparison import (
+    SecureComparisonError,
+    secure_greater_than,
+    secure_less_than,
+)
+
+
+def test_greater_than_basic():
+    rng = random.Random(0)
+    assert secure_greater_than(10, 3, bit_width=8, rng=rng).result is True
+    assert secure_greater_than(3, 10, bit_width=8, rng=rng).result is False
+    assert secure_greater_than(7, 7, bit_width=8, rng=rng).result is False
+
+
+def test_less_than_basic():
+    rng = random.Random(1)
+    assert secure_less_than(3, 10, bit_width=8, rng=rng).result is True
+    assert secure_less_than(10, 3, bit_width=8, rng=rng).result is False
+    assert secure_less_than(5, 5, bit_width=8, rng=rng).result is False
+
+
+def test_byte_accounting_present():
+    result = secure_greater_than(1000, 999, bit_width=16, rng=random.Random(2))
+    assert result.garbler_bytes_sent > 0
+    assert result.evaluator_bytes_sent > 0
+    assert result.and_gate_count > 0
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(SecureComparisonError):
+        secure_greater_than(-1, 3, bit_width=8)
+    with pytest.raises(SecureComparisonError):
+        secure_greater_than(3, -1, bit_width=8)
+
+
+def test_oversized_inputs_rejected():
+    with pytest.raises(SecureComparisonError):
+        secure_greater_than(256, 3, bit_width=8)
+    with pytest.raises(SecureComparisonError):
+        secure_greater_than(3, 256, bit_width=8)
+
+
+def test_large_bit_width_values():
+    rng = random.Random(3)
+    big_a = 2**40 + 12345
+    big_b = 2**40 + 12344
+    assert secure_greater_than(big_a, big_b, bit_width=48, rng=rng).result is True
+    assert secure_less_than(big_b, big_a, bit_width=48, rng=rng).result is True
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=0, max_value=2**16 - 1))
+def test_secure_comparison_property(a, b):
+    rng = random.Random(a ^ (b << 1))
+    assert secure_greater_than(a, b, bit_width=16, rng=rng).result == (a > b)

@@ -1,0 +1,55 @@
+"""Unit tests for dataset persistence and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.data import TraceConfig, generate_dataset
+from repro.data.loader import iter_windows, load_dataset_csv, save_dataset_csv
+
+
+def test_iter_windows_shapes(small_dataset):
+    slices = list(iter_windows(small_dataset))
+    assert len(slices) == small_dataset.window_count
+    first = slices[0]
+    assert len(first.home_ids) == small_dataset.home_count
+    assert len(first.generation_kwh) == small_dataset.home_count
+    assert len(first.load_kwh) == small_dataset.home_count
+
+
+def test_iter_windows_range(small_dataset):
+    slices = list(iter_windows(small_dataset, start=10, stop=20))
+    assert [s.window for s in slices] == list(range(10, 20))
+
+
+def test_iter_windows_invalid_range(small_dataset):
+    with pytest.raises(ValueError):
+        list(iter_windows(small_dataset, start=5, stop=3))
+    with pytest.raises(ValueError):
+        list(iter_windows(small_dataset, start=0, stop=10**6))
+
+
+def test_iter_windows_values_match_dataset(small_dataset):
+    window = 17
+    window_slice = next(iter_windows(small_dataset, start=window, stop=window + 1))
+    for index, home in enumerate(small_dataset.homes):
+        assert window_slice.generation_kwh[index] == pytest.approx(
+            float(home.generation_kwh[window])
+        )
+        assert window_slice.load_kwh[index] == pytest.approx(float(home.load_kwh[window]))
+
+
+def test_csv_roundtrip(tmp_path):
+    dataset = generate_dataset(TraceConfig(home_count=5, window_count=20, seed=13))
+    save_dataset_csv(dataset, tmp_path)
+    assert (tmp_path / "profiles.csv").exists()
+    assert (tmp_path / "traces.csv").exists()
+
+    restored = load_dataset_csv(tmp_path)
+    assert restored.home_count == dataset.home_count
+    assert restored.window_count == dataset.window_count
+    original_by_id = {h.profile.home_id: h for h in dataset.homes}
+    for home in restored.homes:
+        original = original_by_id[home.profile.home_id]
+        assert home.profile.preference_k == pytest.approx(original.profile.preference_k)
+        assert np.allclose(home.generation_kwh, original.generation_kwh, atol=1e-5)
+        assert np.allclose(home.load_kwh, original.load_kwh, atol=1e-5)

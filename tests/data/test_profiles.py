@@ -1,0 +1,90 @@
+"""Unit tests for household profile sampling."""
+
+import random
+
+import pytest
+
+from repro.data.profiles import HouseholdProfile, ProfilePopulation, sample_population
+
+
+def make_profile(**overrides):
+    base = dict(
+        home_id="home-000",
+        pv_capacity_kw=3.0,
+        base_load_kw=0.4,
+        peak_load_kw=2.0,
+        battery_capacity_kwh=6.0,
+        battery_loss_coefficient=0.9,
+        preference_k=150.0,
+    )
+    base.update(overrides)
+    return HouseholdProfile(**base)
+
+
+def test_profile_flags():
+    assert make_profile().has_pv
+    assert make_profile().has_battery
+    assert not make_profile(pv_capacity_kw=0.0).has_pv
+    assert not make_profile(battery_capacity_kwh=0.0).has_battery
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"pv_capacity_kw": -1.0},
+        {"base_load_kw": -0.1},
+        {"peak_load_kw": -0.1},
+        {"battery_capacity_kwh": -1.0},
+        {"battery_loss_coefficient": 0.0},
+        {"battery_loss_coefficient": 1.0},
+        {"preference_k": 0.0},
+    ],
+)
+def test_profile_validation(overrides):
+    with pytest.raises(ValueError):
+        make_profile(**overrides)
+
+
+def test_population_validation():
+    with pytest.raises(ValueError):
+        ProfilePopulation(pv_ownership_rate=1.5)
+    with pytest.raises(ValueError):
+        ProfilePopulation(battery_ownership_rate=-0.1)
+
+
+def test_sample_population_count_and_ids():
+    profiles = sample_population(25, random.Random(1))
+    assert len(profiles) == 25
+    assert len({p.home_id for p in profiles}) == 25
+    assert profiles[0].home_id == "home-000"
+
+
+def test_sample_population_deterministic():
+    a = sample_population(10, random.Random(7))
+    b = sample_population(10, random.Random(7))
+    assert a == b
+
+
+def test_sample_population_respects_ownership_rates():
+    all_pv = sample_population(50, random.Random(2), ProfilePopulation(pv_ownership_rate=1.0))
+    assert all(p.has_pv for p in all_pv)
+    no_pv = sample_population(50, random.Random(3), ProfilePopulation(pv_ownership_rate=0.0))
+    assert not any(p.has_pv for p in no_pv)
+    # Batteries only appear in PV homes.
+    assert not any(p.has_battery for p in no_pv)
+
+
+def test_sample_population_rejects_zero_count():
+    with pytest.raises(ValueError):
+        sample_population(0, random.Random(1))
+
+
+def test_sampled_values_within_configured_ranges():
+    population = ProfilePopulation(
+        pv_ownership_rate=1.0,
+        pv_capacity_range_kw=(2.0, 3.0),
+        preference_k_range=(100.0, 110.0),
+    )
+    for profile in sample_population(40, random.Random(4), population):
+        assert 2.0 <= profile.pv_capacity_kw <= 3.0
+        assert 100.0 <= profile.preference_k <= 110.0

@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic Smart*-like trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.traces import (
+    TRADING_START_HOUR,
+    WINDOWS_PER_DAY,
+    TraceConfig,
+    generate_dataset,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(home_count=0)
+    with pytest.raises(ValueError):
+        TraceConfig(window_count=0)
+    with pytest.raises(ValueError):
+        TraceConfig(cloud_variability=1.5)
+
+
+def test_dataset_shape():
+    dataset = generate_dataset(TraceConfig(home_count=12, window_count=100, seed=1))
+    assert dataset.home_count == 12
+    assert dataset.window_count == 100
+    for home in dataset.homes:
+        assert home.window_count == 100
+        assert np.all(home.generation_kwh >= 0)
+        assert np.all(home.load_kwh >= 0)
+
+
+def test_generation_is_deterministic_for_seed():
+    a = generate_dataset(TraceConfig(home_count=6, window_count=60, seed=42))
+    b = generate_dataset(TraceConfig(home_count=6, window_count=60, seed=42))
+    for home_a, home_b in zip(a.homes, b.homes):
+        assert np.allclose(home_a.generation_kwh, home_b.generation_kwh)
+        assert np.allclose(home_a.load_kwh, home_b.load_kwh)
+
+
+def test_different_seeds_differ():
+    a = generate_dataset(TraceConfig(home_count=6, window_count=60, seed=1))
+    b = generate_dataset(TraceConfig(home_count=6, window_count=60, seed=2))
+    assert not np.allclose(a.homes[0].load_kwh, b.homes[0].load_kwh)
+
+
+def test_no_generation_at_start_and_end_of_trading_day():
+    """The paper's traces have ~zero PV output at 7 AM and 7 PM."""
+    dataset = generate_dataset(TraceConfig(home_count=20, window_count=WINDOWS_PER_DAY, seed=3))
+    assert dataset.total_generation(0) < 0.05 * dataset.total_load(0)
+    assert dataset.total_generation(WINDOWS_PER_DAY - 1) < 0.10 * dataset.total_load(
+        WINDOWS_PER_DAY - 1
+    )
+
+
+def test_midday_generation_peaks():
+    dataset = generate_dataset(TraceConfig(home_count=20, window_count=WINDOWS_PER_DAY, seed=3))
+    midday = dataset.total_generation(360)  # 1:00 PM
+    morning = dataset.total_generation(30)
+    assert midday > 5 * max(morning, 1e-9)
+
+
+def test_window_hour_mapping():
+    dataset = generate_dataset(TraceConfig(home_count=2, window_count=120, seed=1))
+    assert dataset.window_hour(0) == TRADING_START_HOUR
+    assert dataset.window_hour(60) == TRADING_START_HOUR + 1
+
+
+def test_subset():
+    dataset = generate_dataset(TraceConfig(home_count=10, window_count=30, seed=5))
+    subset = dataset.subset(4)
+    assert subset.home_count == 4
+    assert subset.homes[0].profile.home_id == dataset.homes[0].profile.home_id
+    with pytest.raises(ValueError):
+        dataset.subset(11)
+
+
+def test_homes_without_pv_never_generate():
+    dataset = generate_dataset(TraceConfig(home_count=40, window_count=200, seed=9))
+    for home in dataset.homes:
+        if not home.profile.has_pv:
+            assert np.allclose(home.generation_kwh, 0.0)
+
+
+def test_cloud_variability_zero_gives_smooth_series():
+    smooth = generate_dataset(
+        TraceConfig(home_count=5, window_count=300, seed=10, cloud_variability=0.0)
+    )
+    cloudy = generate_dataset(
+        TraceConfig(home_count=5, window_count=300, seed=10, cloud_variability=1.0)
+    )
+    # Clouds can only lower generation relative to the clear-sky baseline.
+    assert sum(cloudy.total_generation(w) for w in range(300)) <= sum(
+        smooth.total_generation(w) for w in range(300)
+    ) + 1e-9

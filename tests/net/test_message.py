@@ -1,0 +1,42 @@
+"""Unit tests for protocol messages."""
+
+from repro.net import Message, MessageKind
+
+
+def test_byte_size_includes_payload_and_header():
+    empty = Message(sender="a", recipient="b", kind=MessageKind.GENERIC)
+    with_payload = Message(sender="a", recipient="b", kind=MessageKind.GENERIC, payload=b"x" * 100)
+    assert empty.byte_size() == 64
+    assert with_payload.byte_size() == 164
+
+
+def test_byte_size_includes_metadata():
+    message = Message(
+        sender="a", recipient="b", kind=MessageKind.PRICE_BROADCAST, metadata={"price": 97.5}
+    )
+    assert message.byte_size() > 64
+
+
+def test_message_ids_increase():
+    first = Message(sender="a", recipient="b", kind=MessageKind.GENERIC)
+    second = Message(sender="a", recipient="b", kind=MessageKind.GENERIC)
+    assert second.message_id > first.message_id
+
+
+def test_broadcast_flag():
+    assert Message(sender="a", recipient="*", kind=MessageKind.GENERIC).is_broadcast()
+    assert not Message(sender="a", recipient="b", kind=MessageKind.GENERIC).is_broadcast()
+
+
+def test_message_kinds_cover_protocol_phases():
+    values = {kind.value for kind in MessageKind}
+    for expected in (
+        "market_aggregate",
+        "pricing_aggregate",
+        "demand_aggregate",
+        "ratio_broadcast",
+        "energy_route",
+        "payment",
+        "chain_block",
+    ):
+        assert expected in values
