@@ -10,7 +10,11 @@ The ``REPRO_BENCH_SCALE`` environment variable selects the experiment size:
 
 * ``full``  — the paper's configuration where tractable (slow),
 * ``default`` — reduced agent counts / sampled windows (a few minutes),
-* ``quick`` — smoke-test sizes (tens of seconds).
+* ``quick`` — smoke-test sizes (tens of seconds),
+* ``smoke`` — CI smoke mode: the smallest configuration that still
+  exercises every benchmark path (key sizes scaled down, seconds total).
+  Falls back to the ``quick`` value unless a benchmark passes an explicit
+  ``smoke=`` configuration.
 """
 
 from __future__ import annotations
@@ -22,8 +26,10 @@ import pytest
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
 
 
-def scaled(quick, default, full):
+def scaled(quick, default, full, smoke=None):
     """Pick a configuration value according to REPRO_BENCH_SCALE."""
+    if SCALE == "smoke":
+        return quick if smoke is None else smoke
     if SCALE == "quick":
         return quick
     if SCALE == "full":

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Run the crypto micro-benchmarks and distill them into ``BENCH_crypto.json``.
+
+Executes ``benchmarks/test_crypto_micro.py`` under pytest-benchmark, then
+writes a compact JSON report pairing each accelerated primitive with its
+pre-acceleration baseline so the perf trajectory is tracked PR over PR:
+
+* ``encrypt``: pooled online path vs. fresh exponentiation ("before"),
+* ``decrypt``: CRT fast path vs. textbook formula ("before"),
+* the offline obfuscator precompute cost per entry.
+
+Usage::
+
+    python benchmarks/run_crypto_bench.py [--scale smoke|quick|default|full]
+                                          [--output BENCH_crypto.json]
+
+The scale defaults to ``REPRO_BENCH_SCALE`` (or ``default``); ``smoke`` is
+the CI mode — key sizes scaled down so the whole run takes seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (after, before) benchmark pairs whose mean-time ratio we report.
+SPEEDUP_PAIRS = {
+    "encrypt_pooled_vs_fresh": ("test_paillier_encrypt", "test_paillier_encrypt_fresh"),
+    "decrypt_crt_vs_textbook": ("test_paillier_decrypt", "test_paillier_decrypt_textbook"),
+}
+
+
+def run_benchmarks(scale: str, json_path: Path) -> None:
+    env = dict(os.environ)
+    env["REPRO_BENCH_SCALE"] = scale
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(REPO_ROOT / "benchmarks" / "test_crypto_micro.py"),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    subprocess.run(command, check=True, env=env, cwd=REPO_ROOT / "benchmarks")
+
+
+def distill(raw: dict, scale: str) -> dict:
+    benches: dict = {}
+    for entry in raw.get("benchmarks", []):
+        group = entry["name"].split("[")[0]
+        param = str(entry.get("param", ""))
+        benches.setdefault(group, {})[param] = {
+            "mean_s": entry["stats"]["mean"],
+            "stddev_s": entry["stats"]["stddev"],
+            "rounds": entry["stats"]["rounds"],
+        }
+    speedups: dict = {}
+    for label, (after, before) in SPEEDUP_PAIRS.items():
+        per_param = {}
+        for param, before_stats in benches.get(before, {}).items():
+            after_stats = benches.get(after, {}).get(param)
+            if after_stats and after_stats["mean_s"] > 0:
+                per_param[param] = round(
+                    before_stats["mean_s"] / after_stats["mean_s"], 2
+                )
+        if per_param:
+            speedups[label] = per_param
+    return {
+        "scale": scale,
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "datetime": raw.get("datetime"),
+        "benchmarks": benches,
+        "speedups": speedups,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "default"),
+        choices=("smoke", "quick", "default", "full"),
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_crypto.json",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "raw.json"
+        run_benchmarks(args.scale, raw_path)
+        raw = json.loads(raw_path.read_text())
+
+    report = distill(raw, args.scale)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {args.output}")
+    for label, per_param in report["speedups"].items():
+        for param, ratio in sorted(per_param.items()):
+            print(f"  {label}[{param}]: {ratio}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

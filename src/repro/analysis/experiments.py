@@ -194,9 +194,13 @@ class RuntimeObservation:
     Attributes:
         home_count: number of agents.
         key_size: Paillier key size the cost model was calibrated for.
-        average_window_seconds: mean simulated per-window protocol runtime.
+        average_window_seconds: mean simulated per-window protocol runtime
+            (the *online* critical path).
         total_day_seconds: extrapolated total runtime for a full 720-window
             day (the y axis of Fig. 5(b)/(c)).
+        average_offline_seconds: mean per-window idle-time precomputation
+            (randomizer-pool warm-up) — the offline half of the
+            offline/online split, pipelined off the critical path.
         sampled_windows: how many windows were actually executed.
     """
 
@@ -205,6 +209,7 @@ class RuntimeObservation:
     average_window_seconds: float
     total_day_seconds: float
     sampled_windows: int
+    average_offline_seconds: float = 0.0
 
 
 def experiment_fig5_runtime(
@@ -246,8 +251,10 @@ def experiment_fig5_runtime(
             traces = engine.run_windows(dataset, windows, home_count=home_count)
             if traces:
                 average = sum(t.simulated_runtime_seconds for t in traces) / len(traces)
+                offline = sum(t.offline_seconds for t in traces) / len(traces)
             else:
                 average = 0.0
+                offline = 0.0
             observations.append(
                 RuntimeObservation(
                     home_count=home_count,
@@ -255,6 +262,7 @@ def experiment_fig5_runtime(
                     average_window_seconds=average,
                     total_day_seconds=average * window_count,
                     sampled_windows=len(traces),
+                    average_offline_seconds=offline,
                 )
             )
     return observations

@@ -23,8 +23,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ...crypto.accel import RandomizerPool
 from ...crypto.fixedpoint import DEFAULT_PRECISION, FixedPointCodec
-from ...crypto.paillier import PaillierKeyPair, generate_keypair
+from ...crypto.paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierPublicKey,
+    generate_keypair,
+)
 from ...net.costmodel import CostModel
 from ...net.message import MessageKind
 from ...net.network import Party, SimulatedNetwork
@@ -56,6 +62,12 @@ class ProtocolConfig:
             correctness/privacy tests use per-agent keys (``None``).
         seed: seed for protocol randomness (nonce and leader selection).
         comparison_bits: bit width of the garbled comparison circuit.
+        use_randomizer_pools: route encryptions through per-key offline
+            randomizer pools (the paper's idle-time pipelining); disable to
+            model a deployment that exponentiates online.
+        pool_headroom: baseline obfuscators precomputed per key during
+            window setup; the protocols top chosen leaders' pools up with
+            exact counts, so this only needs to cover stray encryptions.
     """
 
     key_size: int = 512
@@ -64,6 +76,8 @@ class ProtocolConfig:
     key_pool_size: Optional[int] = None
     seed: int = 7
     comparison_bits: int = 64
+    use_randomizer_pools: bool = True
+    pool_headroom: int = 2
 
 
 class KeyRing:
@@ -80,6 +94,10 @@ class KeyRing:
         self._rng = rng
         self._per_agent: Dict[str, PaillierKeyPair] = {}
         self._pool: List[PaillierKeyPair] = []
+        #: offline randomizer pools, one per distinct public key (keyed by
+        #: the modulus ``n``).  The keyring generated every private key, so
+        #: each pool precomputes obfuscators via the owner's fast CRT path.
+        self._randomizer_pools: Dict[int, RandomizerPool] = {}
 
     def keypair_for(self, agent_id: str, agent_index: int) -> PaillierKeyPair:
         """Return the (cached) key pair owned by one agent."""
@@ -92,7 +110,26 @@ class KeyRing:
         else:
             keypair = generate_keypair(self._config.key_size, self._rng)
         self._per_agent[agent_id] = keypair
+        if keypair.public_key.n not in self._randomizer_pools:
+            self._randomizer_pools[keypair.public_key.n] = RandomizerPool(
+                keypair.public_key,
+                rng=self._rng,
+                private_key=keypair.private_key,
+            )
         return keypair
+
+    def randomizer_pool(self, public_key: PaillierPublicKey) -> RandomizerPool:
+        """Return the (long-lived) randomizer pool for one public key."""
+        pool = self._randomizer_pools.get(public_key.n)
+        if pool is None:
+            pool = RandomizerPool(public_key, rng=self._rng)
+            self._randomizer_pools[public_key.n] = pool
+        return pool
+
+    @property
+    def randomizer_pools(self) -> List[RandomizerPool]:
+        """All pools the keyring owns (one per distinct public key)."""
+        return list(self._randomizer_pools.values())
 
 
 @dataclass
@@ -154,6 +191,8 @@ class ProtocolContext:
         self.buyers: List[AgentRuntime] = []
         self._by_id: Dict[str, AgentRuntime] = {}
         self._register_agents()
+        if config.use_randomizer_pools:
+            self.warm_pools()
 
     # -- setup -------------------------------------------------------------------
 
@@ -177,6 +216,62 @@ class ProtocolContext:
                 self.sellers.append(runtime)
             else:
                 self.buyers.append(runtime)
+
+    def warm_pools(self, target_per_key: Optional[int] = None) -> int:
+        """Warm every distinct key's randomizer pool for this window.
+
+        Part of window setup: agents precompute obfuscators during idle
+        time so the protocols' online encryptions collapse to one modular
+        multiplication each.  The default target is a small per-key
+        baseline (``pool_headroom``): most keys are never aggregation
+        targets in a given window, and the protocols top the chosen
+        leaders' pools up with *exact* counts once contributors are known
+        (see ``warm_pool``), so warming every key to the worst case here
+        would be O(agents^2) wasted exponentiations with per-agent keys.
+        A drained pool still falls back to online exponentiation.
+
+        Returns the number of obfuscators actually precomputed (the work
+        charged to the offline clock).
+        """
+        if not self.config.use_randomizer_pools:
+            return 0
+        if target_per_key is None:
+            target_per_key = self.config.pool_headroom
+        seen: set = set()
+        produced = 0
+        for runtime in self.all_agents:
+            key = runtime.public_key
+            if key.n in seen:
+                continue
+            seen.add(key.n)
+            produced += self.keyring.randomizer_pool(key).warm(target_per_key)
+        self.charge_offline_precompute(produced)
+        return produced
+
+    def warm_pool(self, public_key, count: int) -> int:
+        """Top one key's pool up to ``count`` entries (exact-need warm-up)."""
+        if not self.config.use_randomizer_pools:
+            return 0
+        produced = self.keyring.randomizer_pool(public_key).warm(count)
+        self.charge_offline_precompute(produced)
+        return produced
+
+    def encrypt(self, public_key, plaintext: int) -> PaillierCiphertext:
+        """Encrypt under ``public_key``, preferring the offline pool.
+
+        The cost model is charged for the online path actually taken: a
+        single modular multiplication when a pooled obfuscator was
+        available, a full exponentiation otherwise.
+        """
+        if self.config.use_randomizer_pools:
+            pool = self.keyring.randomizer_pool(public_key)
+            before = pool.fallback_count
+            ciphertext = pool.encrypt(plaintext)
+            self.charge_encryptions(1, pooled=pool.fallback_count == before)
+            return ciphertext
+        ciphertext = public_key.encrypt(plaintext, rng=self.rng)
+        self.charge_encryptions(1)
+        return ciphertext
 
     # -- lookup ------------------------------------------------------------------
 
@@ -207,9 +302,18 @@ class ProtocolContext:
     def cost_model(self) -> Optional[CostModel]:
         return self.network.cost_model
 
-    def charge_encryptions(self, count: int) -> None:
+    def charge_encryptions(self, count: int, pooled: bool = False) -> None:
         if self.cost_model is not None:
-            self.network.charge_crypto_time(self.cost_model.encryption_cost(count))
+            self.network.charge_crypto_time(
+                self.cost_model.encryption_cost(count, pooled=pooled)
+            )
+
+    def charge_offline_precompute(self, count: int) -> None:
+        """Charge ``count`` obfuscator precomputations to the offline clock."""
+        if self.cost_model is not None and count:
+            self.network.charge_offline_time(
+                self.cost_model.offline_precompute_cost(count)
+            )
 
     def charge_decryptions(self, count: int) -> None:
         if self.cost_model is not None:

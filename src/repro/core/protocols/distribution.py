@@ -64,10 +64,10 @@ def _coalition_chain_aggregate(
     then re-broadcast inside the coalition by the last member so every
     member holds the aggregate ciphertext.
     """
+    context.warm_pool(public_key, len(members))
     running: Optional[PaillierCiphertext] = None
     for index, (agent, value) in enumerate(zip(members, values)):
-        own = public_key.encrypt(value, rng=context.rng)
-        context.charge_encryptions(1)
+        own = context.encrypt(public_key, value)
         if running is None:
             running = own
         else:
@@ -131,12 +131,17 @@ def _run_ratio_phase(
     # All requesters submit concurrently: one communication round.
     context.charge_round(ciphertext_bytes)
 
-    # The holder decrypts each submission and recovers the share ratios.
+    # The holder decrypts the submissions in one batch (CRT fast path) and
+    # recovers the share ratios.
     submissions = ratio_holder.party.receive_all(MessageKind.RATIO_SUBMISSION)
-    for requester, own_encoded, message in zip(requesters, encoded, submissions):
-        ciphertext = PaillierCiphertext.from_bytes(message.payload, ratio_holder.public_key)
-        decrypted = ratio_holder.private_key.decrypt(ciphertext)
-        context.charge_decryptions(1)
+    decrypted_values = ratio_holder.private_key.decrypt_many(
+        PaillierCiphertext.from_bytes(message.payload, ratio_holder.public_key)
+        for message in submissions
+    )
+    context.charge_decryptions(len(submissions))
+    for requester, own_encoded, message, decrypted in zip(
+        requesters, encoded, submissions, decrypted_values
+    ):
         public_scale = message.metadata["scale"]
         # decrypted = total_encoded * round(K / own_encoded); dividing by the
         # public K recovers total/own, whose inverse is the share ratio.

@@ -64,11 +64,16 @@ def _chain_aggregate(
     (Lines 2-9 of Protocol 2); the last contributor forwards the product to
     ``final_recipient``.  Returns the ciphertext as received by the final
     recipient.
+
+    Every contributor encrypts under the same (leader's) public key, so the
+    chain's exact obfuscator demand is known upfront: the leader's pool is
+    topped up once (offline) and each hop's encryption is a single online
+    modular multiplication.
     """
+    context.warm_pool(public_key, len(contributors))
     running: Optional[PaillierCiphertext] = None
     for index, (agent, value) in enumerate(zip(contributors, values)):
-        own = public_key.encrypt(value, rng=context.rng)
-        context.charge_encryptions(1)
+        own = context.encrypt(public_key, value)
         if running is None:
             running = own
         else:

@@ -54,10 +54,10 @@ def _seller_chain_aggregate(
 ) -> PaillierCiphertext:
     """Chain-aggregate one encrypted value per seller toward the leader buyer."""
     sellers = context.sellers
+    context.warm_pool(leader.public_key, len(sellers))
     running: Optional[PaillierCiphertext] = None
     for index, (seller, value) in enumerate(zip(sellers, values)):
-        own = leader.public_key.encrypt(value, rng=context.rng)
-        context.charge_encryptions(1)
+        own = context.encrypt(leader.public_key, value)
         if running is None:
             running = own
         else:

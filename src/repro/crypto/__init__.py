@@ -5,7 +5,10 @@ Python standard library:
 
 * :mod:`repro.crypto.primes` — Miller--Rabin primality and prime generation.
 * :mod:`repro.crypto.paillier` — the Paillier additively homomorphic
-  cryptosystem (keygen, encrypt/decrypt, homomorphic ops, serialization).
+  cryptosystem (keygen, CRT-accelerated encrypt/decrypt, homomorphic ops,
+  serialization).
+* :mod:`repro.crypto.accel` — offline acceleration (precomputed randomizer
+  pools that make online encryption a single modular multiplication).
 * :mod:`repro.crypto.fixedpoint` — fixed-point encoding of reals for
   encryption.
 * :mod:`repro.crypto.circuits` — boolean circuit builders (comparator, adder).
@@ -15,6 +18,7 @@ Python standard library:
   comparison used by Private Market Evaluation.
 """
 
+from .accel import RandomizerPool, precompute_obfuscator
 from .fixedpoint import DEFAULT_PRECISION, FixedPointCodec
 from .paillier import (
     PaillierCiphertext,
@@ -34,6 +38,8 @@ __all__ = [
     "PaillierKeyPair",
     "PaillierPrivateKey",
     "PaillierPublicKey",
+    "RandomizerPool",
+    "precompute_obfuscator",
     "generate_keypair",
     "homomorphic_sum",
     "generate_prime",

@@ -18,6 +18,14 @@ The paper observes that encryption/decryption is pipelined during idle time
 decryption are independently executed in parallel during idle time"), so the
 cost model separates *critical-path* communication/aggregation cost from
 *offloadable* crypto cost and exposes both.
+
+The acceleration layer (:mod:`repro.crypto.accel`) makes that split
+concrete: obfuscators are precomputed *offline* (charged via
+:meth:`CostModel.offline_precompute_cost` to a separate offline clock) and
+the *online* cost of a pooled encryption collapses to a single modular
+multiplication (:meth:`CostModel.encryption_cost` with ``pooled=True``).
+Decryption costs assume the CRT fast path by default
+(``crt_decrypt_speedup``).
 """
 
 from __future__ import annotations
@@ -34,6 +42,17 @@ class CryptoCostModel:
     The reference costs correspond to a 1024-bit key on the paper's ARM
     server class hardware; other key sizes are scaled by ``(bits/1024)^3``
     to reflect the cubic growth of modular exponentiation.
+
+    Attributes (beyond the per-primitive reference costs):
+        crt_decrypt_speedup: factor by which CRT decryption (half-width
+            moduli and exponents) beats the textbook formula; set to 1.0
+            to model a deployment without the fast path.
+        pooled_encrypt_reference_seconds: online cost of an encryption
+            whose obfuscator comes from a randomizer pool — a single
+            modular multiplication, same order as a homomorphic op.
+        obfuscator_reference_seconds: offline cost of precomputing one
+            ``r^n mod n^2`` obfuscator via the key owner's CRT path
+            (~half a fresh encryption).
     """
 
     key_size: int = 1024
@@ -42,6 +61,9 @@ class CryptoCostModel:
     homomorphic_op_reference_seconds: float = 0.00002
     garbled_gate_seconds: float = 0.00002
     ot_transfer_seconds: float = 0.0015
+    crt_decrypt_speedup: float = 3.5
+    pooled_encrypt_reference_seconds: float = 0.00002
+    obfuscator_reference_seconds: float = 0.004
 
     def _scale(self) -> float:
         return (self.key_size / 1024.0) ** 3
@@ -51,8 +73,20 @@ class CryptoCostModel:
         return self.encrypt_reference_seconds * self._scale()
 
     @property
+    def pooled_encrypt_seconds(self) -> float:
+        """Online cost of one pooled encryption (a single mulmod)."""
+        return self.pooled_encrypt_reference_seconds * self._scale()
+
+    @property
+    def obfuscator_seconds(self) -> float:
+        """Offline cost of precomputing one randomizer-pool obfuscator."""
+        return self.obfuscator_reference_seconds * self._scale()
+
+    @property
     def decrypt_seconds(self) -> float:
-        return self.decrypt_reference_seconds * self._scale()
+        return self.decrypt_reference_seconds * self._scale() / max(
+            1.0, self.crt_decrypt_speedup
+        )
 
     @property
     def homomorphic_op_seconds(self) -> float:
@@ -109,10 +143,18 @@ class CostModel:
             pipelined_crypto=pipelined_crypto,
         )
 
-    def encryption_cost(self, count: int = 1) -> float:
-        """Critical-path cost of ``count`` encryptions (0 when pipelined)."""
+    def encryption_cost(self, count: int = 1, pooled: bool = False) -> float:
+        """Critical-path cost of ``count`` encryptions (0 when pipelined).
+
+        ``pooled`` encryptions use a precomputed obfuscator, so even on the
+        critical path they only cost a modular multiplication each; the
+        exponentiation they saved shows up in
+        :meth:`offline_precompute_cost` instead.
+        """
         if self.pipelined_crypto:
             return 0.0
+        if pooled:
+            return count * self.crypto.pooled_encrypt_seconds
         return count * self.crypto.encrypt_seconds
 
     def decryption_cost(self, count: int = 1) -> float:
@@ -120,6 +162,15 @@ class CostModel:
         if self.pipelined_crypto:
             return 0.0
         return count * self.crypto.decrypt_seconds
+
+    def offline_precompute_cost(self, count: int = 1) -> float:
+        """Idle-time cost of precomputing ``count`` pool obfuscators.
+
+        Never part of the critical path: it is accumulated on the separate
+        offline clock (:attr:`TrafficStats.offline_seconds`) so benchmarks
+        can report the offline/online split.
+        """
+        return count * self.crypto.obfuscator_seconds
 
     def aggregation_cost(self, count: int = 1) -> float:
         """Cost of ``count`` homomorphic ciphertext multiplications."""

@@ -192,6 +192,11 @@ class SimulatedNetwork:
         if self.cost_model is not None and seconds > 0:
             self.stats.add_time(seconds)
 
+    def charge_offline_time(self, seconds: float) -> None:
+        """Accumulate idle-time precomputation cost on the offline clock."""
+        if self.cost_model is not None and seconds > 0:
+            self.stats.add_offline_time(seconds)
+
     def charge_extra_traffic(self, party_id: str, sent: int = 0, received: int = 0) -> None:
         """Charge out-of-band traffic (garbled circuit / OT bytes) to a party."""
         self.stats.record_extra_bytes(party_id, sent=sent, received=received)

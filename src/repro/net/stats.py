@@ -44,8 +44,12 @@ class TrafficStats:
     total_bytes: int = 0
     #: bytes broken down by message kind (e.g. "market_aggregate", "payment").
     bytes_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    #: simulated wall-clock seconds accumulated by the cost model.
+    #: simulated critical-path wall-clock seconds accumulated by the cost
+    #: model (the *online* phase).
     simulated_seconds: float = 0.0
+    #: simulated idle-time seconds spent on offline precomputation
+    #: (randomizer-pool warm-up); deliberately kept off the critical path.
+    offline_seconds: float = 0.0
 
     def record_send(self, sender: str, recipient: str, size: int, kind: str = "other") -> None:
         """Record one unicast message of ``size`` bytes."""
@@ -71,8 +75,12 @@ class TrafficStats:
         self.bytes_by_kind[kind] += sent + received
 
     def add_time(self, seconds: float) -> None:
-        """Accumulate simulated time."""
+        """Accumulate simulated critical-path (online) time."""
         self.simulated_seconds += seconds
+
+    def add_offline_time(self, seconds: float) -> None:
+        """Accumulate simulated idle-time (offline precompute) seconds."""
+        self.offline_seconds += seconds
 
     def merge(self, other: "TrafficStats") -> None:
         """Merge another stats object into this one (e.g. per-window totals)."""
@@ -83,6 +91,7 @@ class TrafficStats:
         for kind, size in other.bytes_by_kind.items():
             self.bytes_by_kind[kind] += size
         self.simulated_seconds += other.simulated_seconds
+        self.offline_seconds += other.offline_seconds
 
     def average_bytes_per_party(self, parties: Iterable[str] | None = None) -> float:
         """Average total traffic (sent + received) across parties, in bytes.

@@ -87,3 +87,77 @@ def test_balances_match_market_payments():
     for seller_id, sold in clearing.seller_sold_kwh.items():
         assert chain.balance_of(seller_id) == pytest.approx(clearing.clearing_price * sold)
     assert chain.balance_of("b1") == pytest.approx(-clearing.total_payments)
+
+
+def test_settle_day_batches_multiple_windows():
+    contract = make_contract()
+    c3 = make_clearing()
+    c4 = MarketClearing(window=4, case=MarketCase.GENERAL, clearing_price=95.0)
+    blocks = contract.settle_day([c3, c4])
+    # Window 4 has no trades: settled but produces no block.
+    assert len(blocks) == 1
+    assert contract.settled_windows() == {3, 4}
+
+
+def test_audit_commitment_matches_on_chain_totals():
+    import random
+
+    from repro.crypto import generate_keypair
+
+    audit = generate_keypair(128, random.Random(31))
+    chain = ConsortiumChain(
+        consensus=RoundRobinConsensus(validators=[Validator(f"v{i}") for i in range(4)])
+    )
+    contract = SettlementContract(
+        chain=chain, params=PAPER_PARAMETERS, audit_key=audit.public_key
+    )
+    clearing = make_clearing()
+    contract.settle_day([clearing])
+    commitment = contract.audit_commitment(3)
+    assert commitment is not None
+    assert contract.verify_audit_total(3, audit.private_key)
+    # The ciphertext is not the plaintext total — the chain never sees it.
+    assert commitment.value != round(clearing.total_payments)
+
+
+def test_audit_commitment_absent_without_audit_key():
+    contract = make_contract()
+    contract.settle_window(make_clearing())
+    assert contract.audit_commitment(3) is None
+    with pytest.raises(ContractViolation):
+        contract.verify_audit_total(3, None)
+
+
+def test_settle_day_rejects_whole_batch_before_committing():
+    contract = make_contract()
+    good = make_clearing()
+    from repro.core.market import Trade
+
+    bad = MarketClearing(window=9, case=MarketCase.GENERAL, clearing_price=999.0)
+    bad.trades.append(
+        Trade(seller_id="s1", buyer_id="b1", energy_kwh=0.1, payment=99.9)
+    )
+    with pytest.raises(ContractViolation):
+        contract.settle_day([good, bad])
+    # Nothing committed: the corrected batch can be retried cleanly.
+    assert contract.settled_windows() == set()
+    assert contract.settle_day([good]) != []
+
+
+def test_audit_commitment_covers_trade_less_windows():
+    import random
+
+    from repro.crypto import generate_keypair
+
+    audit = generate_keypair(128, random.Random(41))
+    chain = ConsortiumChain(
+        consensus=RoundRobinConsensus(validators=[Validator(f"v{i}") for i in range(4)])
+    )
+    contract = SettlementContract(
+        chain=chain, params=PAPER_PARAMETERS, audit_key=audit.public_key
+    )
+    empty = MarketClearing(window=7, case=MarketCase.GENERAL, clearing_price=95.0)
+    contract.settle_day([empty])
+    # A settled window always has a commitment — an encryption of zero here.
+    assert contract.audit_commitment(7) is not None
+    assert contract.verify_audit_total(7, audit.private_key)

@@ -200,3 +200,46 @@ def test_private_distribution_payment_messages_flow():
     assert MessageKind.ENERGY_ROUTE in kinds
     assert MessageKind.PAYMENT in kinds
     assert MessageKind.RATIO_BROADCAST in kinds
+
+
+# -- Offline/online acceleration ------------------------------------------------------
+
+
+def test_pool_warmup_charged_to_offline_clock():
+    context, _, network = make_context(GENERAL_STATES)
+    # Window setup (context construction) warmed the randomizer pools.
+    assert network.stats.offline_seconds > 0
+    online_before = network.stats.simulated_seconds
+    offline_before = network.stats.offline_seconds
+    run_market_evaluation(context)
+    # The protocol's pooled encryptions stay off the offline clock except
+    # for explicit top-ups; online time advances independently.
+    assert network.stats.simulated_seconds > online_before
+    assert network.stats.offline_seconds >= offline_before
+
+
+def test_pooled_encryptions_avoid_online_fallback():
+    context, _, _ = make_context(GENERAL_STATES)
+    run_market_evaluation(context)
+    run_private_pricing(context)
+    pools = context.keyring.randomizer_pools
+    assert sum(p.consumed for p in pools) > 0
+    assert sum(p.fallback_count for p in pools) == 0
+
+
+def test_pools_disabled_still_correct():
+    coalitions = form_coalitions(0, GENERAL_STATES)
+    network = SimulatedNetwork(cost_model=CostModel.for_key_size(512))
+    config = ProtocolConfig(
+        key_size=KEY_SIZE, key_pool_size=3, seed=5, use_randomizer_pools=False
+    )
+    context = ProtocolContext(
+        coalitions=coalitions,
+        network=network,
+        config=config,
+        params=PAPER_PARAMETERS,
+        rng=random.Random(5),
+    )
+    result = run_market_evaluation(context)
+    assert result.is_general_market == coalitions.is_general_market
+    assert network.stats.offline_seconds == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the Paillier acceleration layer (CRT + randomizer pools)."""
+
+import random
+
+import pytest
+
+from repro.crypto.accel import RandomizerPool, precompute_obfuscator
+from repro.crypto.paillier import generate_keypair, homomorphic_sum
+
+
+@pytest.fixture(scope="module")
+def pool_keypair():
+    return generate_keypair(128, random.Random(77))
+
+
+def test_precompute_obfuscator_crt_matches_public_path(pool_keypair):
+    public, private = pool_keypair.public_key, pool_keypair.private_key
+    for r in (2, 12345, public.n - 1):
+        assert precompute_obfuscator(public, r) == precompute_obfuscator(
+            public, r, private_key=private
+        )
+
+
+def test_pooled_encrypt_decrypts_like_fresh(pool_keypair):
+    public, private = pool_keypair.public_key, pool_keypair.private_key
+    pool = RandomizerPool(public, random.Random(1), private_key=private)
+    pool.warm(8)
+    for value in (0, 1, -1, 999, -999, public.max_plaintext, -public.max_plaintext):
+        assert private.decrypt(pool.encrypt(value)) == value
+
+
+def test_pool_entries_are_single_use(pool_keypair):
+    pool = RandomizerPool(
+        pool_keypair.public_key, random.Random(2), private_key=pool_keypair.private_key
+    )
+    pool.warm(16)
+    taken = pool.take_many(16)
+    # Every obfuscator is handed out exactly once (one-time-pad discipline).
+    assert len(set(taken)) == len(taken)
+    assert pool.available == 0
+    assert pool.consumed == 16
+    assert pool.fallback_count == 0
+
+
+def test_exhausted_pool_falls_back_to_online(pool_keypair):
+    """Regression: draining the pool must transparently re-run the online path."""
+    public, private = pool_keypair.public_key, pool_keypair.private_key
+    pool = RandomizerPool(public, random.Random(3), private_key=private)
+    pool.warm(2)
+    values = [11, -22, 33, -44, 55]
+    ciphertexts = [pool.encrypt(v) for v in values]
+    assert [private.decrypt(ct) for ct in ciphertexts] == values
+    assert pool.fallback_count == len(values) - 2
+    assert pool.consumed == len(values)
+
+
+def test_warm_tops_up_without_overfilling(pool_keypair):
+    pool = RandomizerPool(
+        pool_keypair.public_key, random.Random(4), private_key=pool_keypair.private_key
+    )
+    assert pool.warm(5) == 5
+    assert pool.warm(5) == 0
+    pool.take()
+    assert pool.warm(5) == 1
+    assert pool.available == 5
+    assert pool.produced == 6
+
+
+def test_pool_without_private_key(pool_keypair):
+    public, private = pool_keypair.public_key, pool_keypair.private_key
+    pool = RandomizerPool(public, random.Random(5))
+    pool.warm(3)
+    assert private.decrypt(pool.encrypt(4242)) == 4242
+
+
+def test_pool_rejects_mismatched_private_key(pool_keypair):
+    other = generate_keypair(128, random.Random(88))
+    with pytest.raises(ValueError):
+        RandomizerPool(pool_keypair.public_key, private_key=other.private_key)
+
+
+def test_encrypt_many_uses_one_obfuscator_each(pool_keypair):
+    public, private = pool_keypair.public_key, pool_keypair.private_key
+    pool = RandomizerPool(public, random.Random(6), private_key=private)
+    pool.warm(4)
+    values = [1, 2, 3, 4]
+    ciphertexts = pool.encrypt_many(values)
+    assert private.decrypt_many(ciphertexts) == values
+    assert pool.available == 0
+
+
+def test_batched_homomorphic_sum_matches_sequential(pool_keypair):
+    public, private = pool_keypair.public_key, pool_keypair.private_key
+    values = list(range(-10, 25, 3))
+    ciphertexts = public.encrypt_many(values, rng=random.Random(7))
+    for chunk in (1, 2, 8, 64):
+        total = homomorphic_sum(ciphertexts, public, chunk_size=chunk)
+        assert private.decrypt(total) == sum(values)

@@ -122,6 +122,58 @@ def test_public_key_validation():
         PaillierPublicKey(n=4)
 
 
+def test_decrypt_constants_cached_at_construction(keypair):
+    # lam/mu are plain attributes computed once in __post_init__, not
+    # recomputed per decrypt_raw call.
+    private = keypair.private_key
+    assert private.lam > 0
+    assert (private.lam % keypair.public_key.n) * private.mu % keypair.public_key.n == 1
+
+
+def test_crt_and_textbook_decrypt_agree(keypair):
+    for value in (0, 5, -5, keypair.public_key.max_plaintext):
+        ct = keypair.public_key.encrypt(value)
+        assert keypair.private_key.decrypt_raw(ct) == keypair.private_key.decrypt_raw_textbook(ct)
+
+
+def test_encrypt_strict_flag(keypair):
+    # strict=True verifies gcd(r, n) == 1; for a two-prime modulus the
+    # check passes for any realistic draw.
+    ct = keypair.public_key.encrypt(321, rng=random.Random(0), strict=True)
+    assert keypair.private_key.decrypt(ct) == 321
+
+
+def test_encrypt_with_precomputed_obfuscator(keypair):
+    n_sq = keypair.public_key.n_squared
+    obf = pow(12345, keypair.public_key.n, n_sq)
+    ct = keypair.public_key.encrypt(777, obfuscator=obf)
+    assert keypair.private_key.decrypt(ct) == 777
+
+
+def test_encrypt_many_decrypt_many_roundtrip(keypair):
+    values = [0, 1, -1, 999, -999]
+    cts = keypair.public_key.encrypt_many(values, rng=random.Random(9))
+    assert keypair.private_key.decrypt_many(cts) == values
+
+
+def test_encrypt_many_with_partial_obfuscators(keypair):
+    n_sq = keypair.public_key.n_squared
+    obfs = [pow(r, keypair.public_key.n, n_sq) for r in (17, 23)]
+    values = [10, 20, 30]
+    cts = keypair.public_key.encrypt_many(values, obfuscators=obfs)
+    assert keypair.private_key.decrypt_many(cts) == values
+
+
+def test_homomorphic_sum_chunking_equivalence(keypair):
+    values = list(range(1, 30))
+    cts = [keypair.public_key.encrypt(v) for v in values]
+    for chunk in (1, 3, 8, 100):
+        assert (
+            keypair.private_key.decrypt(homomorphic_sum(cts, keypair.public_key, chunk_size=chunk))
+            == sum(values)
+        )
+
+
 def test_encrypt_zero_rerandomizes(keypair):
     c = keypair.public_key.encrypt(5)
     rerandomized = c + keypair.public_key.encrypt_zero()

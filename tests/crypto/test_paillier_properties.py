@@ -2,15 +2,24 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.crypto.accel import RandomizerPool
 from repro.crypto.fixedpoint import FixedPointCodec
 from repro.crypto.paillier import generate_keypair
 
 # One shared small key pair for all property tests (module import time).
 _KEYPAIR = generate_keypair(128, random.Random(2024))
 _LIMIT = _KEYPAIR.public_key.max_plaintext
+
+# Production-grade key sizes for the CRT / pooled-encryption equivalence
+# properties (generated once; 256/512 keep the suite fast while exercising
+# real multi-limb arithmetic).
+_SIZED_KEYPAIRS = {
+    bits: generate_keypair(bits, random.Random(bits)) for bits in (256, 512)
+}
 
 # Keep values far from the overflow bound so that sums of two stay valid.
 values = st.integers(min_value=-(_LIMIT // 4), max_value=_LIMIT // 4)
@@ -45,6 +54,63 @@ def test_homomorphic_addition_commutes(a, b):
     ct_ab = _KEYPAIR.public_key.encrypt(a) + _KEYPAIR.public_key.encrypt(b)
     ct_ba = _KEYPAIR.public_key.encrypt(b) + _KEYPAIR.public_key.encrypt(a)
     assert _KEYPAIR.private_key.decrypt(ct_ab) == _KEYPAIR.private_key.decrypt(ct_ba)
+
+
+@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=-1000, max_value=1000), st.data())
+def test_crt_decrypt_equals_textbook(bits, value, data):
+    """CRT decryption and the textbook formula agree on every residue."""
+    keypair = _SIZED_KEYPAIRS[bits]
+    limit = keypair.public_key.max_plaintext
+    # Mix small signed values with values drawn across the full range.
+    wide = data.draw(st.integers(min_value=-limit, max_value=limit))
+    for plaintext in (value, wide):
+        ct = keypair.public_key.encrypt(plaintext)
+        assert keypair.private_key.decrypt_raw(ct) == keypair.private_key.decrypt_raw_textbook(ct)
+        assert keypair.private_key.decrypt(ct) == plaintext
+
+
+@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+def test_crt_decrypt_edge_residues(bits):
+    """Edge residues (0, ±1, ±max_plaintext) survive both decrypt paths."""
+    keypair = _SIZED_KEYPAIRS[bits]
+    limit = keypair.public_key.max_plaintext
+    for plaintext in (0, 1, -1, limit, -limit, limit - 1, -(limit - 1)):
+        ct = keypair.public_key.encrypt(plaintext)
+        assert keypair.private_key.decrypt_raw(ct) == keypair.private_key.decrypt_raw_textbook(ct)
+        assert keypair.private_key.decrypt(ct) == plaintext
+
+
+@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=-10**9, max_value=10**9))
+def test_pooled_encrypt_equals_fresh(bits, value):
+    """A pooled-obfuscator ciphertext decrypts identically to a fresh one."""
+    keypair = _SIZED_KEYPAIRS[bits]
+    pool = RandomizerPool(
+        keypair.public_key, random.Random(value), private_key=keypair.private_key
+    )
+    pool.warm(1)
+    pooled = pool.encrypt(value)
+    fresh = keypair.public_key.encrypt(value)
+    assert keypair.private_key.decrypt(pooled) == keypair.private_key.decrypt(fresh) == value
+
+
+@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+def test_pooled_encrypt_edge_plaintexts(bits):
+    keypair = _SIZED_KEYPAIRS[bits]
+    limit = keypair.public_key.max_plaintext
+    pool = RandomizerPool(
+        keypair.public_key, random.Random(bits), private_key=keypair.private_key
+    )
+    pool.warm(4)
+    for plaintext in (limit, -limit, 0, -1):
+        assert keypair.private_key.decrypt(pool.encrypt(plaintext)) == plaintext
+    # The fourth edge value drained the pool exactly; a fifth falls back.
+    assert pool.fallback_count == 0
+    assert keypair.private_key.decrypt(pool.encrypt(limit)) == limit
+    assert pool.fallback_count == 1
 
 
 @settings(max_examples=60, deadline=None)

@@ -102,6 +102,9 @@ def test_protocol_measurements_present(paired_results):
         assert trace.simulated_runtime_seconds > 0
         assert trace.market_evaluation_leader_ids
         assert trace.ratio_holder_id is not None
+    # The offline/online split: pool warm-up is reported per window and the
+    # first market window (which fills the pools from empty) pays the bulk.
+    assert sum(t.offline_seconds for t in market_traces) > 0
 
 
 def test_leaders_are_role_consistent(paired_results, dataset):

@@ -71,6 +71,36 @@ def test_runtime_roughly_key_size_independent_when_pipelined():
     assert runtime_2048 / runtime_512 < 1.2
 
 
+def test_pooled_encryption_cost_is_mulmod_scale():
+    blocking = CostModel.for_key_size(1024, pipelined_crypto=False)
+    # A pooled encryption costs orders of magnitude less than a fresh one
+    # (single modular multiplication vs. full exponentiation).
+    assert blocking.encryption_cost(1, pooled=True) < blocking.encryption_cost(1) / 100
+    # Pipelining still zeroes both variants on the critical path.
+    pipelined = CostModel.for_key_size(1024, pipelined_crypto=True)
+    assert pipelined.encryption_cost(10, pooled=True) == 0.0
+
+
+def test_offline_precompute_cost_always_positive():
+    # Offline precompute is charged regardless of pipelining — it lands on
+    # the separate offline clock, never the critical path.
+    for pipelined in (True, False):
+        model = CostModel.for_key_size(1024, pipelined_crypto=pipelined)
+        assert model.offline_precompute_cost(10) > 0.0
+    # And it scales cubically with the key size like any exponentiation.
+    small = CostModel.for_key_size(512).offline_precompute_cost(1)
+    large = CostModel.for_key_size(2048).offline_precompute_cost(1)
+    assert large == pytest.approx(small * 64)
+
+
+def test_crt_decrypt_speedup_reflected_in_decrypt_cost():
+    crt = CryptoCostModel(key_size=1024)
+    textbook = CryptoCostModel(key_size=1024, crt_decrypt_speedup=1.0)
+    assert crt.decrypt_seconds == pytest.approx(
+        textbook.decrypt_seconds / crt.crt_decrypt_speedup
+    )
+
+
 def test_network_cost_model_defaults():
     network = NetworkCostModel()
     assert network.message_seconds(0) == pytest.approx(network.per_message_latency_seconds)
