@@ -1,0 +1,21 @@
+# Convenience targets for the PEM reproduction.
+#
+#   make test        - tier-1 verify: the full unit/integration suite
+#   make bench-smoke - regenerate BENCH_crypto.json at smoke scale,
+#                      including the 2-worker sharded-day experiment
+#   make docs-check  - verify the docs' referenced files/commands exist
+#                      and that the source tree byte-compiles
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/run_crypto_bench.py --scale smoke --workers 2
+
+docs-check:
+	$(PYTHON) scripts/docs_check.py

@@ -7,11 +7,18 @@ pre-acceleration baseline so the perf trajectory is tracked PR over PR:
 
 * ``encrypt``: pooled online path vs. fresh exponentiation ("before"),
 * ``decrypt``: CRT fast path vs. textbook formula ("before"),
-* the offline obfuscator precompute cost per entry.
+* the offline obfuscator precompute cost per entry,
+* ``parallel_runner``: a Fig. 5-style sampled day executed serially and
+  sharded across ``--workers`` processes — certifies the sharded run is
+  bit-identical and records the day-runtime speedup on both the simulated
+  clock (the repo's canonical runtime metric, near-linear in workers) and
+  host wall-clock (bounded by the machine's real core count, which is also
+  recorded).
 
 Usage::
 
     python benchmarks/run_crypto_bench.py [--scale smoke|quick|default|full]
+                                          [--workers N] [--skip-parallel]
                                           [--output BENCH_crypto.json]
 
 The scale defaults to ``REPRO_BENCH_SCALE`` (or ``default``); ``smoke`` is
@@ -29,6 +36,17 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: (home_count, sampled windows, crypto key bits) per scale for the
+#: parallel-day run; kept small — the point is the sharding behavior, not
+#: the absolute crypto cost.
+PARALLEL_SCALES = {
+    "smoke": (12, 8, 128),
+    "quick": (16, 8, 128),
+    "default": (24, 12, 256),
+    "full": (48, 24, 256),
+}
 
 #: (after, before) benchmark pairs whose mean-time ratio we report.
 SPEEDUP_PAIRS = {
@@ -85,12 +103,61 @@ def distill(raw: dict, scale: str) -> dict:
     }
 
 
+def run_parallel_day(scale: str, workers: int, background_refill: bool) -> dict:
+    """Execute the sharded-day experiment and distill it for the report."""
+    from repro.analysis.experiments import experiment_parallel_day
+
+    home_count, sample_count, crypto_bits = PARALLEL_SCALES[scale]
+    obs = experiment_parallel_day(
+        home_count=home_count,
+        sample_count=sample_count,
+        workers=workers,
+        crypto_key_size=crypto_bits,
+        background_refill=background_refill,
+    )
+    return {
+        "home_count": obs.home_count,
+        "windows_executed": obs.windows_executed,
+        "workers": obs.workers,
+        "host_cpu_count": os.cpu_count(),
+        "results_identical": obs.results_identical,
+        "pool_fallbacks": obs.pool_fallbacks,
+        "simulated_day_seconds_serial": round(obs.serial_simulated_seconds, 6),
+        "simulated_day_seconds_parallel": round(obs.parallel_simulated_seconds, 6),
+        "simulated_speedup": round(obs.simulated_speedup, 2),
+        "wall_seconds_serial": round(obs.serial_wall_seconds, 3),
+        "wall_seconds_parallel": round(obs.parallel_wall_seconds, 3),
+        "wall_speedup": round(
+            obs.serial_wall_seconds / obs.parallel_wall_seconds, 2
+        )
+        if obs.parallel_wall_seconds > 0
+        else None,
+        "background_refill": background_refill,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--scale",
         default=os.environ.get("REPRO_BENCH_SCALE", "default"),
         choices=("smoke", "quick", "default", "full"),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes for the sharded-day experiment (default 4)",
+    )
+    parser.add_argument(
+        "--background-refill",
+        action="store_true",
+        help="run the sharded day with background randomizer-pool refills",
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="skip the parallel-runner day experiment",
     )
     parser.add_argument(
         "--output",
@@ -105,12 +172,33 @@ def main() -> int:
         raw = json.loads(raw_path.read_text())
 
     report = distill(raw, args.scale)
+    if not args.skip_parallel:
+        print(f"running the sharded-day experiment ({args.workers} workers) ...")
+        report["parallel_runner"] = run_parallel_day(
+            args.scale, args.workers, args.background_refill
+        )
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     print(f"wrote {args.output}")
     for label, per_param in report["speedups"].items():
         for param, ratio in sorted(per_param.items()):
             print(f"  {label}[{param}]: {ratio}x")
+    parallel = report.get("parallel_runner")
+    if parallel:
+        print(
+            f"  parallel_day[{parallel['workers']} workers]: "
+            f"{parallel['simulated_speedup']}x simulated day speedup, "
+            f"{parallel['wall_speedup']}x host wall-clock "
+            f"({parallel['host_cpu_count']} core(s) available), "
+            f"identical={parallel['results_identical']}"
+        )
+        if not parallel["results_identical"]:
+            print(
+                "ERROR: sharded run diverged from the serial run "
+                "(results_identical=false) — determinism regression",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

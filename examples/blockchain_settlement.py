@@ -8,8 +8,10 @@ validator homes, quorum voting, hash-linked blocks, and per-agent balance
 queries.  Finally it demonstrates the integrity check catching a tampered
 ledger.
 
-Run with:  python examples/blockchain_settlement.py
+Run with:  python examples/blockchain_settlement.py [--workers N]
 """
+
+import argparse
 
 from repro.blockchain import (
     ConsortiumChain,
@@ -24,15 +26,24 @@ from repro.data import TraceConfig, generate_dataset
 
 
 def main() -> None:
-    # 1. Trade a few midday windows privately.
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the traded windows across N worker processes",
+    )
+    args = parser.parse_args()
+
+    # 1. Trade a few midday windows privately (sharded when --workers > 1;
+    #    the traces are bit-identical either way).
     dataset = generate_dataset(TraceConfig(home_count=16, window_count=720, seed=9))
     engine = PrivateTradingEngine(
         params=PAPER_PARAMETERS,
         config=ProtocolConfig(key_size=512, key_pool_size=4, seed=21),
     )
     windows = [330, 360, 390]
-    print(f"Running the private PEM protocols for windows {windows} ...")
-    traces = engine.run_windows(dataset, windows)
+    print(f"Running the private PEM protocols for windows {windows} "
+          f"({args.workers} worker(s)) ...")
+    traces = engine.run_windows(dataset, windows, workers=args.workers)
 
     # 2. A consortium of validator homes orders the settlement blocks.
     validator_ids = [home.profile.home_id for home in dataset.homes[:5]]

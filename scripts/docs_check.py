@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Documentation consistency check (the `make docs-check` target).
+
+Keeps README.md and docs/ARCHITECTURE.md honest as the tree grows:
+
+* every repo-relative path the docs mention (``src/...``, ``examples/...``,
+  ``benchmarks/...``, ``docs/...``, ``scripts/...``, top-level ``*.md`` /
+  ``Makefile`` / ``BENCH_crypto.json``) must exist;
+* every ``python <script>`` command in a fenced code block must point at an
+  existing script;
+* every documented ``make`` target must exist in the Makefile;
+* dotted ``repro.*`` module references must import;
+* the whole source tree must byte-compile.
+
+Exits non-zero with a list of problems, so it can gate CI.
+"""
+
+from __future__ import annotations
+
+import compileall
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DOCS = ("README.md", "docs/ARCHITECTURE.md")
+
+#: repo-relative path patterns worth existence-checking when mentioned.
+PATH_PATTERN = re.compile(
+    r"`((?:src|examples|benchmarks|docs|scripts|tests)/[\w./-]+"
+    r"|[A-Z][\w-]*\.md|Makefile|BENCH_crypto\.json)`"
+)
+COMMAND_PATTERN = re.compile(r"python\s+((?:examples|benchmarks|scripts)/[\w./-]+\.py)")
+MAKE_PATTERN = re.compile(r"make\s+([\w-]+)")
+MODULE_PATTERN = re.compile(r"`(repro(?:\.\w+)+)")
+
+
+def check_document(doc: str, problems: list) -> None:
+    text = (REPO_ROOT / doc).read_text()
+
+    for path in set(PATH_PATTERN.findall(text)):
+        if not (REPO_ROOT / path).exists():
+            problems.append(f"{doc}: references missing path {path!r}")
+
+    for script in set(COMMAND_PATTERN.findall(text)):
+        if not (REPO_ROOT / script).exists():
+            problems.append(f"{doc}: documents command for missing script {script!r}")
+
+    makefile = (REPO_ROOT / "Makefile").read_text()
+    targets = set(re.findall(r"^([\w-]+):", makefile, flags=re.MULTILINE))
+    for target in set(MAKE_PATTERN.findall(text)):
+        if target not in targets:
+            problems.append(f"{doc}: documents unknown make target {target!r}")
+
+    for module in set(MODULE_PATTERN.findall(text)):
+        # Strip trailing attribute access: import the longest importable prefix.
+        parts = module.split(".")
+        imported = False
+        for end in range(len(parts), 1, -1):
+            try:
+                importlib.import_module(".".join(parts[:end]))
+                imported = True
+                break
+            except ImportError:
+                continue
+            except Exception:  # attribute path inside a module, etc.
+                imported = True
+                break
+        if not imported:
+            problems.append(f"{doc}: references unimportable module {module!r}")
+
+
+def main() -> int:
+    problems: list = []
+    for doc in DOCS:
+        if not (REPO_ROOT / doc).exists():
+            problems.append(f"missing document {doc}")
+        else:
+            check_document(doc, problems)
+
+    if not compileall.compile_dir(str(REPO_ROOT / "src"), quiet=2, force=False):
+        problems.append("source tree does not byte-compile (see compileall output)")
+
+    if problems:
+        print("docs-check: FAILED")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"docs-check: OK ({', '.join(DOCS)} consistent with the tree)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,8 @@ __all__ = [
     "experiment_fig5_runtime",
     "BandwidthObservation",
     "experiment_table1_bandwidth",
+    "ParallelDayObservation",
+    "experiment_parallel_day",
     "sample_market_windows",
 ]
 
@@ -219,6 +221,7 @@ def experiment_fig5_runtime(
     window_count: int = FULL_DAY_WINDOWS,
     seed: int = DEFAULT_SEED,
     crypto_key_size: int = 256,
+    workers: int = 1,
 ) -> List[RuntimeObservation]:
     """Figure 5(a)-(c): protocol runtime vs. agents, windows and key size.
 
@@ -235,6 +238,9 @@ def experiment_fig5_runtime(
         window_count: length of the trading day being extrapolated to.
         seed: dataset seed.
         crypto_key_size: actual Paillier key size used for execution.
+        workers: shard the sampled windows across this many worker
+            processes (observations are bit-identical to ``workers=1``;
+            only the host wall-clock changes).
     """
     observations: List[RuntimeObservation] = []
     dataset = default_dataset(max(max(home_counts), 300), window_count, seed)
@@ -248,7 +254,9 @@ def experiment_fig5_runtime(
                 ),
                 cost_model=CostModel.for_key_size(key_size),
             )
-            traces = engine.run_windows(dataset, windows, home_count=home_count)
+            traces = engine.run_windows(
+                dataset, windows, home_count=home_count, workers=workers
+            )
             if traces:
                 average = sum(t.simulated_runtime_seconds for t in traces) / len(traces)
                 offline = sum(t.offline_seconds for t in traces) / len(traces)
@@ -266,6 +274,93 @@ def experiment_fig5_runtime(
                 )
             )
     return observations
+
+
+@dataclass(frozen=True)
+class ParallelDayObservation:
+    """A Fig. 5-style day executed serially and sharded across workers.
+
+    Attributes:
+        home_count: number of agents.
+        windows_executed: how many market windows were actually run.
+        workers: worker processes of the sharded run.
+        results_identical: whether the sharded run reproduced the serial
+            ``WindowResult``s and merged stats bit-for-bit (it must).
+        serial_simulated_seconds: simulated day runtime executing the
+            windows back-to-back (the repo's canonical runtime metric —
+            see :mod:`repro.net.costmodel` for why host wall-clock of the
+            in-process simulation is not).
+        parallel_simulated_seconds: simulated day runtime under the plan
+            (slowest shard).
+        simulated_speedup: ratio of the two (near-linear in ``workers``
+            since windows are independent).
+        serial_wall_seconds / parallel_wall_seconds: host wall-clock of the
+            two runs — bounded by the machine's real core count.
+        pool_fallbacks: merged drained-pool fallback count (0 means the
+            offline warm-up fully covered the online encryptions).
+    """
+
+    home_count: int
+    windows_executed: int
+    workers: int
+    results_identical: bool
+    serial_simulated_seconds: float
+    parallel_simulated_seconds: float
+    simulated_speedup: float
+    serial_wall_seconds: float
+    parallel_wall_seconds: float
+    pool_fallbacks: int
+
+
+def experiment_parallel_day(
+    home_count: int = 24,
+    sample_count: int = 8,
+    workers: int = 4,
+    crypto_key_size: int = 128,
+    key_size: int = 1024,
+    window_count: int = FULL_DAY_WINDOWS,
+    seed: int = DEFAULT_SEED,
+    background_refill: bool = False,
+) -> ParallelDayObservation:
+    """Run the same sampled day serially and sharded; compare and time both.
+
+    This is the scaling experiment behind the ``parallel_runner`` section of
+    ``BENCH_crypto.json``: it certifies that sharding is result-preserving
+    and reports the day-runtime speedup on both clocks.
+    """
+
+    def build_engine() -> PrivateTradingEngine:
+        return PrivateTradingEngine(
+            params=PAPER_PARAMETERS,
+            config=ProtocolConfig(key_size=crypto_key_size, key_pool_size=4, seed=7),
+            cost_model=CostModel.for_key_size(key_size),
+        )
+
+    dataset = default_dataset(max(home_count, 300), window_count, seed)
+    windows = sample_market_windows(dataset, home_count, sample_count)
+    serial = build_engine().run_windows_report(
+        dataset, windows, home_count=home_count, workers=1
+    )
+    parallel = build_engine().run_windows_report(
+        dataset,
+        windows,
+        home_count=home_count,
+        workers=workers,
+        background_refill=background_refill,
+    )
+    identical = serial.identical_to(parallel)
+    return ParallelDayObservation(
+        home_count=home_count,
+        windows_executed=len(parallel.traces),
+        workers=parallel.plan.workers,
+        results_identical=identical,
+        serial_simulated_seconds=parallel.serial_simulated_seconds,
+        parallel_simulated_seconds=parallel.parallel_simulated_seconds,
+        simulated_speedup=parallel.simulated_speedup,
+        serial_wall_seconds=serial.wall_seconds,
+        parallel_wall_seconds=parallel.wall_seconds,
+        pool_fallbacks=parallel.stats.pool_fallbacks,
+    )
 
 
 @dataclass(frozen=True)
@@ -294,6 +389,7 @@ def experiment_table1_bandwidth(
     home_count: int = 200,
     samples_per_key_size: Optional[Dict[int, int]] = None,
     seed: int = DEFAULT_SEED,
+    workers: int = 1,
 ) -> List[BandwidthObservation]:
     """Table I: average per-window bandwidth for different key sizes.
 
@@ -315,7 +411,9 @@ def experiment_table1_bandwidth(
             config=ProtocolConfig(key_size=key_size, key_pool_size=2, seed=7),
             cost_model=CostModel.for_key_size(key_size),
         )
-        traces = engine.run_windows(dataset, windows, home_count=home_count)
+        traces = engine.run_windows(
+            dataset, windows, home_count=home_count, workers=workers
+        )
         if traces:
             average_bytes = sum(t.protocol_bandwidth_bytes for t in traces) / len(traces)
         else:

@@ -15,10 +15,35 @@ The context deliberately does **not** give protocols random access to other
 agents' states: protocol code must fetch private values through the owning
 :class:`AgentRuntime`, which is what keeps the privacy-audit tests
 meaningful.
+
+Offline vs. online accounting
+-----------------------------
+
+The context is also where the cost model's two clocks are fed:
+
+* ``TrafficStats.simulated_seconds`` — the *online critical path*: chain
+  hops, communication rounds, homomorphic aggregation, the garbled
+  comparison, and the single mulmod of each pooled encryption.
+* ``TrafficStats.offline_seconds`` — *idle-time precomputation*: every
+  obfuscator produced by :meth:`ProtocolContext.warm_pools` /
+  :meth:`ProtocolContext.warm_pool` is charged here via
+  :meth:`ProtocolContext.charge_offline_precompute`, mirroring the paper's
+  "encryption and decryption are independently executed in parallel during
+  idle time".
+
+Pooled obfuscators obey a strict **one-shot invariant**: each precomputed
+``r^n mod n^2`` value is handed to exactly one encryption (reuse would link
+ciphertexts like a reused one-time pad — see :mod:`repro.crypto.accel`).
+When a pool is drained, :meth:`ProtocolContext.encrypt` transparently falls
+back to a full online exponentiation, charges the online clock for it, and
+counts the event in ``TrafficStats.pool_fallbacks`` so under-provisioned
+warm-ups are visible in traces rather than silently slowing the simulated
+critical path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -80,49 +105,102 @@ class ProtocolConfig:
     pool_headroom: int = 2
 
 
+def _derived_rng(seed: int, *labels: object) -> random.Random:
+    """A deterministic RNG derived from ``seed`` and a label path.
+
+    Uses SHA-256 rather than ``hash()`` because Python salts string hashing
+    per process (``PYTHONHASHSEED``): derived seeds must be identical across
+    the worker processes of a sharded run.
+    """
+    material = "\x1f".join(str(label) for label in (seed, *labels)).encode()
+    return random.Random(int.from_bytes(hashlib.sha256(material).digest()[:16], "big"))
+
+
 class KeyRing:
     """Generates and caches Paillier key pairs for the agents.
 
     With ``key_pool_size`` unset every agent gets its own key pair, exactly
-    as in Protocol 1.  With a pool, pairs are generated once and assigned
-    round-robin — message counts, ciphertext sizes and protocol structure
-    are unchanged, which is all the performance benchmarks rely on.
+    as in Protocol 1.  With a pool, pairs are generated once and agents are
+    assigned a slot by a stable digest of their id — message counts,
+    ciphertext sizes and protocol structure are unchanged, which is all the
+    performance benchmarks rely on.
+
+    **Order independence.**  All key material is derived from
+    ``config.seed`` plus the *identity* of the key (agent id or pool slot),
+    never from the order in which agents first appear.  A worker process
+    that executes only windows 5 and 9 of a day therefore reconstructs
+    exactly the keys the serial run would use for those windows, which is
+    what makes sharded runs (:mod:`repro.runtime`) bit-identical to serial
+    ones.
+
+    **Randomizer draws are NOT derived.**  Pool randomizers come from the
+    system CSPRNG: a derived per-key stream would restart at the same
+    position in every worker process, making two shards hand the *same*
+    obfuscator to two different ciphertexts — a one-shot-invariant breach
+    that links them (see :mod:`repro.crypto.accel`).  Randomizer values
+    influence no result, byte count or clock, so OS entropy costs no
+    determinism.
     """
 
-    def __init__(self, config: ProtocolConfig, rng: random.Random) -> None:
+    def __init__(self, config: ProtocolConfig, rng: Optional[random.Random] = None) -> None:
         self._config = config
+        #: legacy parameter, retained for call-site compatibility but no
+        #: longer consumed: keys are identity-derived and randomizers come
+        #: from the system CSPRNG (see the class docstring).
         self._rng = rng
         self._per_agent: Dict[str, PaillierKeyPair] = {}
-        self._pool: List[PaillierKeyPair] = []
+        self._pool: Dict[int, PaillierKeyPair] = {}
         #: offline randomizer pools, one per distinct public key (keyed by
         #: the modulus ``n``).  The keyring generated every private key, so
         #: each pool precomputes obfuscators via the owner's fast CRT path.
         self._randomizer_pools: Dict[int, RandomizerPool] = {}
 
-    def keypair_for(self, agent_id: str, agent_index: int) -> PaillierKeyPair:
-        """Return the (cached) key pair owned by one agent."""
+    def _pool_slot(self, agent_id: str) -> int:
+        digest = hashlib.sha256(agent_id.encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self._config.key_pool_size
+
+    def keypair_for(self, agent_id: str, agent_index: int = 0) -> PaillierKeyPair:
+        """Return the (cached) key pair owned by one agent.
+
+        ``agent_index`` is kept for API compatibility; key assignment now
+        depends only on ``agent_id`` (see the class docstring).
+        """
         if agent_id in self._per_agent:
             return self._per_agent[agent_id]
+        seed = self._config.seed
         if self._config.key_pool_size:
-            while len(self._pool) < self._config.key_pool_size:
-                self._pool.append(generate_keypair(self._config.key_size, self._rng))
-            keypair = self._pool[agent_index % self._config.key_pool_size]
+            slot = self._pool_slot(agent_id)
+            keypair = self._pool.get(slot)
+            if keypair is None:
+                keypair = generate_keypair(
+                    self._config.key_size, _derived_rng(seed, "key-pool-slot", slot)
+                )
+                self._pool[slot] = keypair
         else:
-            keypair = generate_keypair(self._config.key_size, self._rng)
+            keypair = generate_keypair(
+                self._config.key_size, _derived_rng(seed, "agent-key", agent_id)
+            )
         self._per_agent[agent_id] = keypair
         if keypair.public_key.n not in self._randomizer_pools:
+            # No rng passed: randomizers must come from the system CSPRNG
+            # (a derived stream would collide across worker processes).
             self._randomizer_pools[keypair.public_key.n] = RandomizerPool(
                 keypair.public_key,
-                rng=self._rng,
                 private_key=keypair.private_key,
             )
         return keypair
 
     def randomizer_pool(self, public_key: PaillierPublicKey) -> RandomizerPool:
-        """Return the (long-lived) randomizer pool for one public key."""
+        """Return the (long-lived) randomizer pool for one public key.
+
+        Keys minted by :meth:`keypair_for` already have a pool (with the
+        fast CRT precompute path); for a foreign public key one is created
+        lazily, drawing randomizers from the system CSPRNG like every other
+        pool.
+        """
         pool = self._randomizer_pools.get(public_key.n)
         if pool is None:
-            pool = RandomizerPool(public_key, rng=self._rng)
+            pool = RandomizerPool(public_key)
             self._randomizer_pools[public_key.n] = pool
         return pool
 
@@ -130,6 +208,19 @@ class KeyRing:
     def randomizer_pools(self) -> List[RandomizerPool]:
         """All pools the keyring owns (one per distinct public key)."""
         return list(self._randomizer_pools.values())
+
+    def recycle_pools(self) -> int:
+        """Move every pool's unused entries back to its reservoir.
+
+        Called by the engine at the start of each trading window so the
+        per-window offline accounting (how many obfuscators ``warm_pools``
+        produces) is a deterministic function of the window alone, never of
+        which windows happened to run earlier in the same process.  The
+        recycled values are not wasted — they re-enter through the reservoir
+        (still handed out at most once), only the *accounting* restarts from
+        a cold pool.  Returns the number of entries recycled.
+        """
+        return sum(pool.recycle() for pool in self._randomizer_pools.values())
 
 
 @dataclass
@@ -261,13 +352,19 @@ class ProtocolContext:
 
         The cost model is charged for the online path actually taken: a
         single modular multiplication when a pooled obfuscator was
-        available, a full exponentiation otherwise.
+        available, a full exponentiation otherwise.  A drained pool is not
+        silent — every fallback is also counted in
+        :attr:`~repro.net.stats.TrafficStats.pool_fallbacks` so traces make
+        under-provisioned warm-ups visible.
         """
         if self.config.use_randomizer_pools:
             pool = self.keyring.randomizer_pool(public_key)
             before = pool.fallback_count
             ciphertext = pool.encrypt(plaintext)
-            self.charge_encryptions(1, pooled=pool.fallback_count == before)
+            pooled = pool.fallback_count == before
+            if not pooled:
+                self.network.record_pool_fallback()
+            self.charge_encryptions(1, pooled=pooled)
             return ciphertext
         ciphertext = public_key.encrypt(plaintext, rng=self.rng)
         self.charge_encryptions(1)

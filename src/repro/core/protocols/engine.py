@@ -16,13 +16,35 @@ The resulting :class:`~repro.core.results.WindowResult` has exactly the
 same structure as the plaintext engine's, plus the protocol's bandwidth and
 simulated-runtime measurements — which is what the Figure 5 / Table I
 benchmarks consume.
+
+Runtime accounting
+------------------
+
+Each trace reports two separate simulated clocks (see
+:mod:`repro.net.costmodel`):
+
+* ``simulated_runtime_seconds`` — the *online critical path*: message
+  chains/rounds, homomorphic aggregation, the garbled comparison, and one
+  modular multiplication per pooled encryption;
+* ``offline_seconds`` — idle-time randomizer-pool precomputation, which the
+  paper pipelines off the critical path ("encryption and decryption are
+  independently executed in parallel during idle time").
+
+Pooled obfuscators are strictly one-shot (reuse would link ciphertexts, see
+:mod:`repro.crypto.accel`); the engine recycles unused pool entries at every
+window boundary so each window's offline accounting is a deterministic
+function of that window alone — the property that lets
+:mod:`repro.runtime` shard windows across worker processes and still merge
+bit-identical results.  Encryptions that catch a drained pool fall back to
+online exponentiation and are surfaced per window as
+``pool_fallback_count``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from ...data.loader import WindowSlice, iter_windows
 from ...data.traces import TraceDataset
@@ -44,6 +66,10 @@ from .context import KeyRing, ProtocolConfig, ProtocolContext
 from .distribution import run_private_distribution
 from .market_evaluation import run_market_evaluation
 from .pricing import run_private_pricing
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from ...net.stats import TrafficStats
+    from ...runtime.runner import RunReport
 
 __all__ = ["PrivateWindowTrace", "PrivateTradingEngine"]
 
@@ -75,6 +101,9 @@ class PrivateWindowTrace:
         offline_seconds: idle-time randomizer-pool precomputation charged
             by the cost model; by construction never on the critical path
             (the paper pipelines encryption/decryption during idle time).
+        pool_fallback_count: encryptions whose randomizer pool was drained
+            and that therefore paid a full online exponentiation — nonzero
+            values flag under-provisioned pool warm-ups.
     """
 
     result: WindowResult
@@ -85,6 +114,7 @@ class PrivateWindowTrace:
     protocol_bandwidth_bytes: int = 0
     simulated_runtime_seconds: float = 0.0
     offline_seconds: float = 0.0
+    pool_fallback_count: int = 0
 
 
 class PrivateTradingEngine:
@@ -107,8 +137,7 @@ class PrivateTradingEngine:
         self.params = params
         self.config = config
         self.cost_model = cost_model or CostModel.for_key_size(config.key_size)
-        self._keyring_rng = random.Random(config.seed)
-        self.keyring = KeyRing(config, self._keyring_rng)
+        self.keyring = KeyRing(config)
 
     # -- single window -----------------------------------------------------------
 
@@ -136,6 +165,14 @@ class PrivateTradingEngine:
         start_settlement_bytes = baseline_stats.bytes_for_kinds(_SETTLEMENT_KINDS)
         start_seconds = baseline_stats.simulated_seconds
         start_offline = baseline_stats.offline_seconds
+        start_fallbacks = baseline_stats.pool_fallbacks
+
+        # Window boundary: park unused pool entries in the reservoirs so the
+        # offline accounting of this window never depends on which windows
+        # ran earlier in this process (the values themselves are kept and
+        # remain one-shot).  This is what keeps sharded parallel runs
+        # bit-identical to serial ones.
+        self.keyring.recycle_pools()
 
         coalitions = form_coalitions(window, states)
         baseline = grid_only_window(coalitions, self.params)
@@ -145,7 +182,7 @@ class PrivateTradingEngine:
             trace = PrivateWindowTrace(result=result)
             self._attach_measurements(
                 trace, network, start_bytes, start_settlement_bytes, start_seconds,
-                start_offline,
+                start_offline, start_fallbacks,
             )
             return trace
 
@@ -198,7 +235,7 @@ class PrivateTradingEngine:
         )
         self._attach_measurements(
             trace, network, start_bytes, start_settlement_bytes, start_seconds,
-            start_offline,
+            start_offline, start_fallbacks,
         )
         return trace
 
@@ -210,6 +247,7 @@ class PrivateTradingEngine:
         start_settlement_bytes: int,
         start_seconds: float,
         start_offline: float,
+        start_fallbacks: int = 0,
     ) -> None:
         trace.bandwidth_bytes = network.stats.total_bytes - start_bytes
         settlement_bytes = (
@@ -218,24 +256,27 @@ class PrivateTradingEngine:
         trace.protocol_bandwidth_bytes = trace.bandwidth_bytes - settlement_bytes
         trace.simulated_runtime_seconds = network.stats.simulated_seconds - start_seconds
         trace.offline_seconds = network.stats.offline_seconds - start_offline
+        trace.pool_fallback_count = network.stats.pool_fallbacks - start_fallbacks
         trace.result.bandwidth_bytes = trace.bandwidth_bytes
         trace.result.simulated_runtime_seconds = trace.simulated_runtime_seconds
 
     # -- multi-window runs ----------------------------------------------------------
 
-    def run_windows(
+    def execute_shard(
         self,
         dataset: TraceDataset,
         windows: Iterable[int],
         home_count: Optional[int] = None,
         battery_policy: Optional[BatteryPolicy] = None,
         reuse_network: bool = False,
-    ) -> List[PrivateWindowTrace]:
-        """Run the private protocol stack over selected windows of a dataset.
+        collect_stats: bool = False,
+    ) -> tuple[List[PrivateWindowTrace], List["TrafficStats"]]:
+        """Serially execute one shard of windows (the worker-side primitive).
 
         Battery state is advanced over *all* windows up to the last selected
         one so the selected windows see the same agent states they would in
-        a full-day run.
+        a full-day run — this is what makes any sharding of a day's windows
+        equivalent to executing them back-to-back.
 
         Args:
             dataset: the trace dataset.
@@ -245,18 +286,23 @@ class PrivateTradingEngine:
             reuse_network: execute every window over one long-lived network
                 (accumulating a single traffic log) instead of a fresh
                 network per window.
+            collect_stats: also return the :class:`TrafficStats` of each
+                window (one accumulated object for the whole shard when
+                ``reuse_network`` is set).
 
         Returns:
-            one :class:`PrivateWindowTrace` per selected window, in order.
+            ``(traces, stats)`` — one trace per selected window in ascending
+            order, and the collected stats (empty unless ``collect_stats``).
         """
         selected = sorted(set(windows))
         if not selected:
-            return []
+            return [], []
         agents = build_agents(dataset, battery_policy=battery_policy, home_count=home_count)
         count = len(agents)
         shared_network = SimulatedNetwork(cost_model=self.cost_model) if reuse_network else None
 
         traces: List[PrivateWindowTrace] = []
+        stats: List["TrafficStats"] = []
         last = selected[-1]
         wanted = set(selected)
         for window_slice in iter_windows(dataset, stop=last + 1):
@@ -271,7 +317,100 @@ class PrivateTradingEngine:
                 continue
             network = shared_network or SimulatedNetwork(cost_model=self.cost_model)
             traces.append(self.run_window(window_slice.window, states, network=network))
-        return traces
+            if collect_stats and shared_network is None:
+                stats.append(network.stats)
+        if collect_stats and shared_network is not None:
+            stats.append(shared_network.stats)
+        return traces, stats
+
+    def run_windows(
+        self,
+        dataset: TraceDataset,
+        windows: Iterable[int],
+        home_count: Optional[int] = None,
+        battery_policy: Optional[BatteryPolicy] = None,
+        reuse_network: bool = False,
+        workers: int = 1,
+        shard_strategy: str = "stride",
+        background_refill: bool = False,
+    ) -> List[PrivateWindowTrace]:
+        """Run the private protocol stack over selected windows of a dataset.
+
+        With ``workers=1`` (the default) the windows execute serially in
+        this process on this engine.  With ``workers>1`` the windows are
+        sharded across worker processes via :class:`repro.runtime.ParallelRunner`
+        and the traces are merged back in window order; results are
+        bit-identical to the serial run (see :class:`KeyRing` and the
+        window-boundary pool recycling in :meth:`run_window`).
+
+        Args:
+            dataset: the trace dataset.
+            windows: indices of the windows to execute privately.
+            home_count: restrict to the first N homes.
+            battery_policy: optional battery policy override.
+            reuse_network: execute every window over one long-lived network
+                (one per worker when sharded) instead of a fresh network per
+                window.
+            workers: number of worker processes to shard the windows over.
+            shard_strategy: ``"stride"`` (interleaved, balances the midday
+                market windows) or ``"contiguous"``.
+            background_refill: keep the randomizer-pool reservoirs stocked
+                from a background thread (per worker) so window setup does
+                not block on obfuscator exponentiations.
+
+        Returns:
+            one :class:`PrivateWindowTrace` per selected window, in order.
+        """
+        if workers <= 1 and not background_refill:
+            traces, _ = self.execute_shard(
+                dataset,
+                windows,
+                home_count=home_count,
+                battery_policy=battery_policy,
+                reuse_network=reuse_network,
+            )
+            return traces
+        report = self.run_windows_report(
+            dataset,
+            windows,
+            home_count=home_count,
+            battery_policy=battery_policy,
+            reuse_network=reuse_network,
+            workers=workers,
+            shard_strategy=shard_strategy,
+            background_refill=background_refill,
+        )
+        return report.traces
+
+    def run_windows_report(
+        self,
+        dataset: TraceDataset,
+        windows: Iterable[int],
+        home_count: Optional[int] = None,
+        battery_policy: Optional[BatteryPolicy] = None,
+        reuse_network: bool = False,
+        workers: int = 1,
+        shard_strategy: str = "stride",
+        background_refill: bool = False,
+    ) -> "RunReport":
+        """Like :meth:`run_windows`, returning the full :class:`RunReport`.
+
+        The report carries, besides the traces, the merged per-window
+        :class:`TrafficStats` (folded in window order, so bit-stable across
+        worker counts), per-shard wall-clock, and the simulated-clock
+        day-runtime aggregates used by the Fig. 5-style parallel benchmark.
+        """
+        from ...runtime import ExecutionPlan, ParallelRunner
+
+        plan = ExecutionPlan.for_windows(windows, workers, strategy=shard_strategy)
+        runner = ParallelRunner(plan, background_refill=background_refill)
+        return runner.run(
+            self,
+            dataset,
+            home_count=home_count,
+            battery_policy=battery_policy,
+            reuse_network=reuse_network,
+        )
 
     def run_day(
         self,
@@ -279,18 +418,23 @@ class PrivateTradingEngine:
         home_count: Optional[int] = None,
         windows: Optional[Iterable[int]] = None,
         battery_policy: Optional[BatteryPolicy] = None,
+        workers: int = 1,
     ) -> TradingDayResult:
         """Run selected (default: all) windows and return a TradingDayResult.
 
         Mirrors :meth:`repro.core.pem.PlainTradingEngine.run_day` so the two
         engines are drop-in replacements for each other in the experiment
-        runner.
+        runner; ``workers`` shards the day across processes.
         """
         window_indices = (
             list(windows) if windows is not None else list(range(dataset.window_count))
         )
         traces = self.run_windows(
-            dataset, window_indices, home_count=home_count, battery_policy=battery_policy
+            dataset,
+            window_indices,
+            home_count=home_count,
+            battery_policy=battery_policy,
+            workers=workers,
         )
         day = TradingDayResult()
         for trace in traces:

@@ -16,6 +16,40 @@ the online critical path only pays a modular multiplication per ciphertext.
 * an exhausted pool transparently falls back to fresh online
   exponentiation, counting the fallbacks so callers can size their warm-up.
 
+The one-shot invariant
+----------------------
+
+Every obfuscator value produced by this module is handed to an encryption
+**at most once**, no matter which container it sits in.  Values move in one
+direction only::
+
+    reservoir  --warm/refill-->  pool  --take-->  ciphertext (consumed)
+        ^                          |
+        +--------recycle-----------+
+
+``recycle`` moves *unused* pool entries back to the reservoir (e.g. between
+trading windows); a value that has been returned by :meth:`take` is gone for
+good.  Reusing an obfuscator for two ciphertexts would make the pair
+linkable (their ratio reveals the plaintext difference), exactly like
+reusing a one-time pad.
+
+Background refills and deterministic accounting
+-----------------------------------------------
+
+The *reservoir* is a thread-safe stock of precomputed obfuscator values
+that a :class:`repro.runtime.refill.BackgroundRefiller` tops up on a
+background thread during real wall-clock idle time.  :meth:`warm`,
+:meth:`refill` and the drained-pool fallback all prefer popping the
+reservoir over computing inline, so window setup no longer blocks on
+modular exponentiations when the reservoir is hot.
+
+Crucially the reservoir only changes *where the wall-clock work happens*:
+the simulated-cost accounting (``produced``, ``consumed``,
+``fallback_count`` and the offline seconds charged from them) is a pure
+function of the warm/take call sequence and is **independent of the
+reservoir state**.  That is what keeps sharded parallel runs bit-identical
+to serial ones even though their background refill timing differs.
+
 When the key owner's private key is available locally (it is for every
 agent's own pool), the precomputation itself runs ~2x faster via CRT:
 ``r^n mod p^2`` and ``r^n mod q^2`` are computed with half-width moduli and
@@ -26,6 +60,7 @@ then recombined with Garner's formula.
 from __future__ import annotations
 
 import random
+import threading
 from collections import deque
 from typing import Deque, List, Optional, Sequence
 
@@ -79,6 +114,15 @@ def precompute_obfuscator(
 class RandomizerPool:
     """A one-shot pool of precomputed Paillier obfuscators for one key.
 
+    The pool is the *accounted* container: ``warm``/``refill`` model the
+    offline precomputation a window performs and ``take`` models the online
+    hand-out.  Behind it sits an unaccounted, thread-safe *reservoir* that a
+    :class:`~repro.runtime.refill.BackgroundRefiller` can stock during real
+    idle time; whenever the pool needs a fresh value it pops the reservoir
+    first and only computes inline on a miss.  ``produced``, ``consumed``
+    and ``fallback_count`` never depend on the reservoir state — see the
+    module docstring for why that invariant matters.
+
     Args:
         public_key: the key the obfuscators are computed for.
         rng: random source for the randomizers (defaults to the system
@@ -87,10 +131,13 @@ class RandomizerPool:
             precomputation uses the ~2x faster CRT path.
 
     Attributes:
-        produced: total obfuscators ever precomputed.
+        produced: total obfuscators ever precomputed via ``warm``/``refill``
+            (the work charged to the offline clock).
         consumed: total obfuscators handed out (pooled or fallback).
         fallback_count: how many :meth:`take` calls found the pool empty
             and had to run the online exponentiation instead.
+        stocked: total obfuscators ever computed into the reservoir by
+            background refills.
     """
 
     def __init__(
@@ -104,6 +151,15 @@ class RandomizerPool:
         self.public_key = public_key
         self._rng = rng or random.SystemRandom()
         self._pool: Deque[int] = deque()
+        #: background-stocked obfuscator values; guarded by ``_reservoir_lock``
+        #: because the refiller thread extends it while the protocol thread
+        #: pops it.
+        self._reservoir: Deque[int] = deque()
+        self._reservoir_lock = threading.Lock()
+        #: dedicated randomness for background stocking — the refiller thread
+        #: must not share the (non-thread-safe) ``rng`` with the protocol
+        #: thread, or two encryptions could end up with the same randomizer.
+        self._stock_rng = random.SystemRandom()
         # Cache the CRT constants across refills of the same pool.
         self._crt: Optional[_CrtObfuscatorConstants] = (
             None
@@ -113,6 +169,7 @@ class RandomizerPool:
         self.produced = 0
         self.consumed = 0
         self.fallback_count = 0
+        self.stocked = 0
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -122,18 +179,66 @@ class RandomizerPool:
         """Number of precomputed obfuscators currently in the pool."""
         return len(self._pool)
 
-    def _fresh(self) -> int:
-        r = self._rng.randrange(1, self.public_key.n)
+    @property
+    def reservoir_available(self) -> int:
+        """Number of background-stocked values waiting in the reservoir."""
+        with self._reservoir_lock:
+            return len(self._reservoir)
+
+    def _obfuscate(self, r: int) -> int:
         if self._crt is None:
             return pow(r, self.public_key.n, self.public_key.n_squared)
         return self._crt.obfuscate(r)
+
+    def _fresh(self) -> int:
+        return self._obfuscate(self._rng.randrange(1, self.public_key.n))
+
+    def _next_value(self) -> int:
+        """A never-used obfuscator: reservoir pop, or inline computation."""
+        with self._reservoir_lock:
+            if self._reservoir:
+                return self._reservoir.popleft()
+        return self._fresh()
+
+    # -- background (real idle-time) phase -------------------------------------
+
+    def stock(self, count: int) -> int:
+        """Compute ``count`` obfuscators into the reservoir (refiller thread).
+
+        Safe to call concurrently with the online phase; the computed values
+        enter the one-shot flow the next time ``warm``/``refill``/``take``
+        needs a value.  Returns ``count``.
+        """
+        values = [
+            self._obfuscate(self._stock_rng.randrange(1, self.public_key.n))
+            for _ in range(count)
+        ]
+        with self._reservoir_lock:
+            self._reservoir.extend(values)
+        self.stocked += count
+        return count
+
+    def recycle(self) -> int:
+        """Move unused pool entries back to the reservoir.
+
+        Called between trading windows so each window's offline accounting
+        starts from a deterministic empty pool while the already-computed
+        values (still never handed out) are not wasted.  Returns the number
+        of entries recycled.
+        """
+        moved = len(self._pool)
+        if moved:
+            with self._reservoir_lock:
+                self._reservoir.extend(self._pool)
+            self._pool.clear()
+        return moved
 
     # -- offline phase ---------------------------------------------------------
 
     def refill(self, count: int) -> int:
         """Precompute ``count`` additional obfuscators (offline work)."""
         for _ in range(count):
-            self._pool.append(self._fresh())
+            self._pool.append(self._next_value())
         self.produced += count
         return count
 
@@ -161,7 +266,7 @@ class RandomizerPool:
         if self._pool:
             return self._pool.popleft()
         self.fallback_count += 1
-        return self._fresh()
+        return self._next_value()
 
     def take_many(self, count: int) -> List[int]:
         """Return ``count`` never-used obfuscators."""

@@ -197,6 +197,17 @@ class SimulatedNetwork:
         if self.cost_model is not None and seconds > 0:
             self.stats.add_offline_time(seconds)
 
+    def record_pool_fallback(self, count: int = 1) -> None:
+        """Record encryptions whose randomizer pool was drained.
+
+        The online exponentiation cost itself is charged through
+        :meth:`charge_crypto_time`; this counter only makes the fallback
+        *visible* in the traffic statistics so under-provisioned pools show
+        up in traces instead of silently inflating the online clock.
+        """
+        if count > 0:
+            self.stats.record_pool_fallback(count)
+
     def charge_extra_traffic(self, party_id: str, sent: int = 0, received: int = 0) -> None:
         """Charge out-of-band traffic (garbled circuit / OT bytes) to a party."""
         self.stats.record_extra_bytes(party_id, sent=sent, received=received)

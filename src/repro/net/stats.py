@@ -50,6 +50,12 @@ class TrafficStats:
     #: simulated idle-time seconds spent on offline precomputation
     #: (randomizer-pool warm-up); deliberately kept off the critical path.
     offline_seconds: float = 0.0
+    #: how many encryptions found their randomizer pool drained and had to
+    #: run the full online exponentiation instead of a pooled mulmod.  A
+    #: nonzero count means the offline warm-up under-provisioned the pools
+    #: (the online clock silently absorbed exponentiations that should have
+    #: been pipelined), so traces surface it explicitly.
+    pool_fallbacks: int = 0
 
     def record_send(self, sender: str, recipient: str, size: int, kind: str = "other") -> None:
         """Record one unicast message of ``size`` bytes."""
@@ -82,6 +88,10 @@ class TrafficStats:
         """Accumulate simulated idle-time (offline precompute) seconds."""
         self.offline_seconds += seconds
 
+    def record_pool_fallback(self, count: int = 1) -> None:
+        """Count encryptions that fell back to online exponentiation."""
+        self.pool_fallbacks += count
+
     def merge(self, other: "TrafficStats") -> None:
         """Merge another stats object into this one (e.g. per-window totals)."""
         for party, traffic in other.per_party.items():
@@ -92,6 +102,7 @@ class TrafficStats:
             self.bytes_by_kind[kind] += size
         self.simulated_seconds += other.simulated_seconds
         self.offline_seconds += other.offline_seconds
+        self.pool_fallbacks += other.pool_fallbacks
 
     def average_bytes_per_party(self, parties: Iterable[str] | None = None) -> float:
         """Average total traffic (sent + received) across parties, in bytes.

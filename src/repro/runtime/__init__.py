@@ -1,0 +1,27 @@
+"""Parallel window-execution subsystem for the PEM reproduction.
+
+Trading windows (and the coalitions inside a day) are independent, so they
+can be sharded across worker processes; randomizer-pool precomputation can
+run on a background thread during real idle time.  This package provides:
+
+* :class:`ExecutionPlan` — deterministic sharding of window indices,
+* :class:`ParallelRunner` / :class:`RunReport` — shard execution, worker
+  management and bit-stable result/stats merging,
+* :class:`BackgroundRefiller` — idle-time randomizer-pool refills,
+* :class:`EngineSpec` — a pickleable engine recipe for worker processes.
+
+See ``docs/ARCHITECTURE.md`` for the sharding/merge model and a worked
+``ExecutionPlan`` example.
+"""
+
+from .plan import ExecutionPlan
+from .refill import BackgroundRefiller
+from .runner import EngineSpec, ParallelRunner, RunReport
+
+__all__ = [
+    "ExecutionPlan",
+    "BackgroundRefiller",
+    "EngineSpec",
+    "ParallelRunner",
+    "RunReport",
+]

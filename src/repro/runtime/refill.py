@@ -1,0 +1,150 @@
+"""Background randomizer-pool refills on real wall-clock idle time.
+
+PR 1 moved the Paillier obfuscator exponentiations off the *simulated*
+critical path: window setup warms per-key :class:`RandomizerPool`\\ s and the
+cost model charges that work to the offline clock.  The warm-up itself,
+however, still ran synchronously inside window setup — real wall-clock time
+the paper's deployment spends during idle periods between windows.
+
+:class:`BackgroundRefiller` closes that gap.  It runs a daemon thread that
+keeps every pool's *reservoir* (a thread-safe stock of never-used
+obfuscator values, see :mod:`repro.crypto.accel`) topped up.  When the next
+window's setup calls ``warm_pools``, the deficit is served by popping the
+reservoir instead of computing modular exponentiations inline, so setup no
+longer blocks on them.
+
+Two properties are deliberate:
+
+* **Accounting is untouched.**  The refiller only changes *where the
+  wall-clock work happens*.  ``RandomizerPool.produced`` /
+  ``fallback_count`` — and therefore the simulated offline/online seconds
+  derived from them — are a pure function of the protocol's warm/take
+  sequence, so runs with and without a refiller (and sharded runs whose
+  refill timing differs per worker) produce bit-identical results.
+* **The one-shot invariant holds.**  Reservoir values flow into the pool
+  and out to exactly one encryption each; the refiller uses its own
+  CSPRNG so no randomizer can collide with one drawn on the protocol
+  thread.
+
+CPython caveat: big-int ``pow`` does not release the GIL, so within one
+process the refiller interleaves with, rather than truly overlaps, protocol
+execution.  The wall-clock win materializes when there is genuine idle time
+(real deployments between windows, or I/O-bound phases); in the sharded
+runner each worker process owns an independent refiller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..core.protocols.context import KeyRing
+
+__all__ = ["BackgroundRefiller"]
+
+
+class BackgroundRefiller:
+    """Daemon thread keeping a :class:`KeyRing`'s pool reservoirs stocked.
+
+    Args:
+        keyring: the key ring whose randomizer pools to serve.  New pools
+            the ring creates after the refiller starts are picked up
+            automatically on the next sweep.
+        target: reservoir fill level to maintain per pool.
+        batch: obfuscators computed per pool per sweep (small batches keep
+            the thread responsive to :meth:`stop`).
+        idle_seconds: sleep between sweeps once every reservoir is full —
+            coarse on purpose: reservoirs drain at window-boundary cadence,
+            and a fine poll would contend for the GIL it exists to avoid.
+
+    Usage::
+
+        with BackgroundRefiller(engine.keyring, target=32):
+            engine.run_windows(dataset, windows)
+
+    or explicitly via :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        keyring: "KeyRing",
+        target: int = 32,
+        batch: int = 4,
+        idle_seconds: float = 0.05,
+    ) -> None:
+        if target < 0:
+            raise ValueError(f"target must be >= 0, got {target}")
+        self._keyring = keyring
+        self._target = target
+        self._batch = max(1, batch)
+        self._idle_seconds = idle_seconds
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: total obfuscators this refiller computed into reservoirs.
+        self.total_stocked = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "BackgroundRefiller":
+        if self.running:
+            return self
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="randomizer-pool-refiller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Signal the thread to finish its current batch and join it."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundRefiller":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the refill loop -------------------------------------------------------
+
+    def _sweep(self) -> int:
+        """One pass over all pools; returns how many values were stocked."""
+        stocked = 0
+        for pool in self._keyring.randomizer_pools:
+            if self._stop_event.is_set():
+                break
+            deficit = self._target - pool.reservoir_available
+            if deficit > 0:
+                stocked += pool.stock(min(deficit, self._batch))
+        return stocked
+
+    def _loop(self) -> None:
+        while not self._stop_event.is_set():
+            stocked = self._sweep()
+            self.total_stocked += stocked
+            if stocked == 0:
+                # Everything is full (or no pools exist yet): genuine idle.
+                self._stop_event.wait(self._idle_seconds)
+
+    def prefill(self) -> int:
+        """Synchronously fill every reservoir to the target (no thread).
+
+        Useful in tests and for a deterministic "hot start" before a run;
+        returns the number of obfuscators computed.
+        """
+        stocked = 0
+        while True:
+            step = self._sweep()
+            if step == 0:
+                break
+            stocked += step
+        self.total_stocked += stocked
+        return stocked

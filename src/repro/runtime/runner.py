@@ -1,0 +1,354 @@
+"""Sharded execution of independent trading windows across worker processes.
+
+The runner takes an :class:`~repro.runtime.plan.ExecutionPlan`, ships each
+shard to a ``multiprocessing`` worker (or runs inline for single-shard
+plans), and merges the per-window results back deterministically:
+
+* every worker rebuilds an identical :class:`PrivateTradingEngine` from a
+  pickled :class:`EngineSpec` — key material is derived from stable
+  identities (see :class:`repro.core.protocols.context.KeyRing`), so the
+  worker reconstructs exactly the keys/pools a serial run would use;
+* battery state is advanced from window 0 inside each worker, so shard
+  windows see the same agent states as a full-day serial run;
+* traces are re-assembled in ascending window order, and the merged
+  :class:`~repro.net.stats.TrafficStats` is built by folding the
+  *per-window* stats in that same order — float accumulation order is
+  therefore identical no matter how many workers ran, which is what makes
+  ``workers=N`` bit-for-bit identical to serial.
+
+Wall-clock vs. simulated speedup: the repo's canonical runtime metric is
+the calibrated cost model's *simulated* time (host wall-clock of a pure
+Python in-process simulation mostly measures the interpreter — see
+:mod:`repro.net.costmodel`).  :class:`RunReport` therefore exposes both the
+host wall-clock of the run and the simulated day runtime under the plan
+(``max`` over shards of each shard's summed per-window seconds), which is
+the Fig. 5-style quantity that scales near-linearly with workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
+
+from ..net.stats import TrafficStats
+from .plan import ExecutionPlan
+from .refill import BackgroundRefiller
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from ..core.protocols.engine import PrivateTradingEngine, PrivateWindowTrace
+
+__all__ = ["EngineSpec", "RunReport", "ParallelRunner"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything needed to rebuild a ``PrivateTradingEngine`` in a worker.
+
+    All three members are (frozen) dataclasses, so the spec pickles cleanly
+    into worker processes under any multiprocessing start method.
+    """
+
+    params: Any
+    config: Any
+    cost_model: Any
+
+    @classmethod
+    def from_engine(cls, engine: "PrivateTradingEngine") -> "EngineSpec":
+        return cls(
+            params=engine.params, config=engine.config, cost_model=engine.cost_model
+        )
+
+    def build(self) -> "PrivateTradingEngine":
+        from ..core.protocols.engine import PrivateTradingEngine
+
+        return PrivateTradingEngine(
+            params=self.params, config=self.config, cost_model=self.cost_model
+        )
+
+
+@dataclass(frozen=True)
+class _ShardPayload:
+    """Pickled work order for one worker process.
+
+    ``dataset`` is ``None`` in pooled workers — the dataset is shipped once
+    per worker through the pool initializer (see :func:`_worker_init`)
+    instead of once per payload.
+    """
+
+    shard_index: int
+    spec: EngineSpec
+    dataset: Any
+    windows: Tuple[int, ...]
+    home_count: Optional[int]
+    battery_policy: Any
+    reuse_network: bool
+    background_refill: bool
+    refill_target: int
+
+
+@dataclass
+class _ShardOutcome:
+    """What one worker sends back."""
+
+    shard_index: int
+    traces: List["PrivateWindowTrace"]
+    window_stats: List[TrafficStats]
+    wall_seconds: float
+    stocked: int = 0
+
+
+#: Dataset installed into each pooled worker by :func:`_worker_init`.
+_SHARED_DATASET: Any = None
+
+
+def _worker_init(dataset: Any) -> None:
+    global _SHARED_DATASET
+    _SHARED_DATASET = dataset
+
+
+def _run_payload(engine: "PrivateTradingEngine", payload: _ShardPayload) -> _ShardOutcome:
+    """Run one shard serially on ``engine`` (shared by inline and workers)."""
+    start = time.perf_counter()
+    dataset = payload.dataset if payload.dataset is not None else _SHARED_DATASET
+    refiller = (
+        BackgroundRefiller(engine.keyring, target=payload.refill_target)
+        if payload.background_refill
+        else None
+    )
+    if refiller is not None:
+        refiller.start()
+    try:
+        traces, window_stats = engine.execute_shard(
+            dataset,
+            payload.windows,
+            home_count=payload.home_count,
+            battery_policy=payload.battery_policy,
+            reuse_network=payload.reuse_network,
+            collect_stats=True,
+        )
+    finally:
+        if refiller is not None:
+            refiller.stop()
+    return _ShardOutcome(
+        shard_index=payload.shard_index,
+        traces=traces,
+        window_stats=window_stats,
+        wall_seconds=time.perf_counter() - start,
+        stocked=refiller.total_stocked if refiller is not None else 0,
+    )
+
+
+def _execute_shard(payload: _ShardPayload) -> _ShardOutcome:
+    """Worker entry point: rebuild the engine, then run the shard.
+
+    Module-level so it is importable under the ``spawn`` start method; with
+    ``fork`` it simply runs against the inherited interpreter state.
+    """
+    return _run_payload(payload.spec.build(), payload)
+
+
+@dataclass
+class RunReport:
+    """Merged outcome of a (possibly sharded) multi-window run.
+
+    Attributes:
+        plan: the execution plan that was run.
+        traces: one trace per window, ascending window order.
+        stats: per-window traffic statistics folded in window order — for
+            the default fresh-network-per-window mode this is bit-identical
+            across any worker count.
+        wall_seconds: host wall-clock of the whole run (bounded by the
+            machine's real core count — informational only).
+        shard_wall_seconds: host wall-clock per shard.
+        background_stocked: obfuscators precomputed by background refillers
+            across all workers.
+    """
+
+    plan: ExecutionPlan
+    traces: List["PrivateWindowTrace"] = field(default_factory=list)
+    stats: TrafficStats = field(default_factory=TrafficStats)
+    wall_seconds: float = 0.0
+    shard_wall_seconds: Tuple[float, ...] = ()
+    background_stocked: int = 0
+
+    def identical_to(self, other: "RunReport") -> bool:
+        """Bit-for-bit equality of traces and merged stats with ``other``.
+
+        The canonical determinism certificate: every ``WindowResult``,
+        per-trace measurement and merged ``TrafficStats`` aggregate must
+        match exactly (floats compared with ``==``).  Used by the parallel
+        benchmarks and examples so they all enforce the same definition.
+        """
+        if len(self.traces) != len(other.traces):
+            return False
+        for a, b in zip(self.traces, other.traces):
+            if not (
+                a.result == b.result
+                and a.bandwidth_bytes == b.bandwidth_bytes
+                and a.protocol_bandwidth_bytes == b.protocol_bandwidth_bytes
+                and a.simulated_runtime_seconds == b.simulated_runtime_seconds
+                and a.offline_seconds == b.offline_seconds
+                and a.pool_fallback_count == b.pool_fallback_count
+                and a.market_evaluation_leader_ids == b.market_evaluation_leader_ids
+                and a.pricing_leader_id == b.pricing_leader_id
+                and a.ratio_holder_id == b.ratio_holder_id
+            ):
+                return False
+        s, o = self.stats, other.stats
+        return (
+            s.snapshot() == o.snapshot()
+            and s.total_messages == o.total_messages
+            and s.total_bytes == o.total_bytes
+            and dict(s.bytes_by_kind) == dict(o.bytes_by_kind)
+            and s.simulated_seconds == o.simulated_seconds
+            and s.offline_seconds == o.offline_seconds
+            and s.pool_fallbacks == o.pool_fallbacks
+        )
+
+    # -- simulated-clock aggregates (the paper's runtime metric) ---------------
+
+    def shard_simulated_seconds(self) -> Tuple[float, ...]:
+        """Summed per-window simulated online seconds, per shard."""
+        by_window = {t.result.window: t.simulated_runtime_seconds for t in self.traces}
+        return tuple(
+            sum(by_window.get(w, 0.0) for w in shard) for shard in self.plan.shards
+        )
+
+    @property
+    def serial_simulated_seconds(self) -> float:
+        """Simulated day runtime if every window ran back-to-back."""
+        return sum(t.simulated_runtime_seconds for t in self.traces)
+
+    @property
+    def parallel_simulated_seconds(self) -> float:
+        """Simulated day runtime under the plan: the slowest shard's sum."""
+        per_shard = self.shard_simulated_seconds()
+        return max(per_shard) if per_shard else 0.0
+
+    @property
+    def simulated_speedup(self) -> float:
+        """Fig. 5-style day speedup of the plan over serial execution."""
+        parallel = self.parallel_simulated_seconds
+        if parallel <= 0.0:
+            return 1.0
+        return self.serial_simulated_seconds / parallel
+
+
+class ParallelRunner:
+    """Executes an :class:`ExecutionPlan` and merges results deterministically.
+
+    Args:
+        plan: the window sharding to execute.
+        start_method: multiprocessing start method (default: ``fork`` when
+            available, else the platform default).  Workers must be able to
+            import :mod:`repro` — the test/benchmark entry points already
+            export ``PYTHONPATH=src``.
+        background_refill: run a :class:`BackgroundRefiller` next to every
+            shard (and the inline path) so pool warm-ups pop precomputed
+            reservoir values instead of exponentiating during window setup.
+        refill_target: reservoir fill level the refillers maintain.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        start_method: Optional[str] = None,
+        background_refill: bool = False,
+        refill_target: int = 32,
+    ) -> None:
+        self.plan = plan
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self.start_method = start_method
+        self.background_refill = background_refill
+        self.refill_target = refill_target
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        engine: "PrivateTradingEngine",
+        dataset: Any,
+        home_count: Optional[int] = None,
+        battery_policy: Any = None,
+        reuse_network: bool = False,
+    ) -> RunReport:
+        """Run the plan for ``engine``'s configuration over ``dataset``.
+
+        Single-shard plans execute inline on the given engine (no process
+        is spawned); multi-shard plans rebuild the engine per worker from
+        an :class:`EngineSpec`.  Either way the merged report is identical.
+        """
+        started = time.perf_counter()
+        plan = self.plan
+        if plan.workers == 0:
+            return RunReport(plan=plan)
+
+        inline = plan.workers == 1
+        payloads = [
+            _ShardPayload(
+                shard_index=index,
+                spec=EngineSpec.from_engine(engine),
+                # Pooled workers receive the dataset once via _worker_init
+                # rather than once per payload.
+                dataset=dataset if inline else None,
+                windows=shard,
+                home_count=home_count,
+                battery_policy=battery_policy,
+                reuse_network=reuse_network,
+                background_refill=self.background_refill,
+                refill_target=self.refill_target,
+            )
+            for index, shard in enumerate(plan.shards)
+        ]
+
+        if inline:
+            outcomes = [_run_payload(engine, payloads[0])]
+        else:
+            context = multiprocessing.get_context(self.start_method)
+            with context.Pool(
+                processes=plan.workers, initializer=_worker_init, initargs=(dataset,)
+            ) as pool:
+                outcomes = pool.map(_execute_shard, payloads)
+
+        report = self._merge(plan, outcomes)
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    # -- deterministic merge -----------------------------------------------------
+
+    @staticmethod
+    def _merge(plan: ExecutionPlan, outcomes: Sequence[_ShardOutcome]) -> RunReport:
+        ordered = sorted(outcomes, key=lambda o: o.shard_index)
+        traces: List["PrivateWindowTrace"] = []
+        keyed_stats: List[Tuple[int, TrafficStats]] = []
+        extra_stats: List[TrafficStats] = []
+        for outcome in ordered:
+            traces.extend(outcome.traces)
+            if len(outcome.window_stats) == len(outcome.traces):
+                # Fresh-network mode: one stats object per window.
+                for trace, stats in zip(outcome.traces, outcome.window_stats):
+                    keyed_stats.append((trace.result.window, stats))
+            else:
+                # reuse_network mode: one accumulated stats object per shard.
+                extra_stats.extend(outcome.window_stats)
+        traces.sort(key=lambda t: t.result.window)
+
+        merged = TrafficStats()
+        # Window order first (bit-stable regardless of sharding), then any
+        # shard-level leftovers in shard order.
+        for _, stats in sorted(keyed_stats, key=lambda pair: pair[0]):
+            merged.merge(stats)
+        for stats in extra_stats:
+            merged.merge(stats)
+
+        return RunReport(
+            plan=plan,
+            traces=traces,
+            stats=merged,
+            shard_wall_seconds=tuple(o.wall_seconds for o in ordered),
+            background_stocked=sum(o.stocked for o in ordered),
+        )

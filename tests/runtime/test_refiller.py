@@ -1,0 +1,159 @@
+"""Tests for reservoirs, background refills and fallback visibility."""
+
+import random
+
+import pytest
+
+from repro.core import PAPER_PARAMETERS
+from repro.core.agent import AgentWindowState
+from repro.core.coalition import form_coalitions
+from repro.core.protocols import PrivateTradingEngine, ProtocolConfig, ProtocolContext
+from repro.crypto import generate_keypair
+from repro.crypto.accel import RandomizerPool
+from repro.data import TraceConfig, generate_dataset
+from repro.net import CostModel, SimulatedNetwork
+from repro.runtime import BackgroundRefiller
+
+KEY_SIZE = 128
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(KEY_SIZE, random.Random(77))
+
+
+# -- RandomizerPool reservoir ---------------------------------------------------------
+
+
+def test_warm_pops_reservoir_without_changing_accounting(keypair):
+    pool = RandomizerPool(
+        keypair.public_key, random.Random(1), private_key=keypair.private_key
+    )
+    pool.stock(6)
+    assert pool.reservoir_available == 6
+    assert pool.produced == 0  # stocking is not offline-accounted work
+    assert pool.warm(4) == 4  # accounting identical to a cold warm-up
+    assert pool.produced == 4
+    assert pool.reservoir_available == 2  # values came from the reservoir
+    assert pool.available == 4
+
+
+def test_recycle_moves_unused_entries_back(keypair):
+    pool = RandomizerPool(
+        keypair.public_key, random.Random(2), private_key=keypair.private_key
+    )
+    pool.warm(5)
+    pool.take()
+    assert pool.recycle() == 4
+    assert pool.available == 0
+    assert pool.reservoir_available == 4
+    # The next warm re-produces (accounting restarts cold) but pops the
+    # recycled values instead of exponentiating.
+    assert pool.warm(4) == 4
+    assert pool.reservoir_available == 0
+
+
+def test_fallback_serves_from_reservoir_but_still_counts(keypair):
+    public, private = keypair.public_key, keypair.private_key
+    pool = RandomizerPool(public, random.Random(3), private_key=private)
+    pool.stock(2)
+    ciphertext = pool.encrypt(1234)  # pool empty -> fallback
+    assert private.decrypt(ciphertext) == 1234
+    assert pool.fallback_count == 1
+    assert pool.reservoir_available == 1
+
+
+def test_one_shot_invariant_across_containers(keypair):
+    pool = RandomizerPool(
+        keypair.public_key, random.Random(4), private_key=keypair.private_key
+    )
+    pool.stock(3)
+    pool.warm(5)
+    pool.recycle()
+    pool.warm(5)
+    handed_out = pool.take_many(5) + [pool.take() for _ in range(3)]  # 3 fallbacks
+    assert len(set(handed_out)) == len(handed_out)
+
+
+# -- BackgroundRefiller ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def day_dataset():
+    return generate_dataset(TraceConfig(home_count=12, window_count=720, seed=9))
+
+
+def build_engine():
+    return PrivateTradingEngine(
+        params=PAPER_PARAMETERS,
+        config=ProtocolConfig(key_size=KEY_SIZE, key_pool_size=4, seed=21),
+    )
+
+
+def test_refiller_prefill_and_thread_lifecycle(keypair):
+    engine = build_engine()
+    # Materialize one pool, then let the refiller fill its reservoir.
+    engine.keyring.keypair_for("home-0")
+    refiller = BackgroundRefiller(engine.keyring, target=8, batch=3)
+    assert refiller.prefill() == 8
+    (pool,) = engine.keyring.randomizer_pools
+    assert pool.reservoir_available == 8
+    with refiller:
+        assert refiller.running
+    assert not refiller.running
+
+
+def test_background_refill_does_not_change_results(day_dataset):
+    windows = [330, 360]
+    base = build_engine().run_windows_report(day_dataset, windows)
+    refilled = build_engine().run_windows_report(
+        day_dataset, windows, background_refill=True
+    )
+    for a, b in zip(base.traces, refilled.traces):
+        assert a.result == b.result
+        assert a.simulated_runtime_seconds == b.simulated_runtime_seconds
+        assert a.offline_seconds == b.offline_seconds
+    assert base.stats.snapshot() == refilled.stats.snapshot()
+    assert base.stats.offline_seconds == refilled.stats.offline_seconds
+
+
+# -- Fallback visibility in TrafficStats ----------------------------------------------
+
+
+def state(agent_id: str, net: float, k: float = 150.0) -> AgentWindowState:
+    return AgentWindowState(
+        agent_id=agent_id,
+        window=0,
+        generation_kwh=max(net, 0.0),
+        load_kwh=max(-net, 0.0),
+        battery_kwh=0.0,
+        battery_loss_coefficient=0.9,
+        preference_k=k,
+    )
+
+
+def test_drained_pool_fallbacks_surface_in_traffic_stats():
+    states = [state("s1", 0.1), state("s2", 0.08), state("b1", -0.2), state("b2", -0.1)]
+    coalitions = form_coalitions(0, states)
+    network = SimulatedNetwork(cost_model=CostModel.for_key_size(512))
+    config = ProtocolConfig(
+        key_size=KEY_SIZE, key_pool_size=2, seed=5, pool_headroom=0
+    )
+    context = ProtocolContext(
+        coalitions=coalitions,
+        network=network,
+        config=config,
+        params=PAPER_PARAMETERS,
+        rng=random.Random(5),
+    )
+    runtime = context.all_agents[0]
+    assert network.stats.pool_fallbacks == 0
+    # No warm-up happened (headroom 0), so these encryptions must drain-fallback
+    # and the stats must say so.
+    context.encrypt(runtime.public_key, 42)
+    context.encrypt(runtime.public_key, 43)
+    assert network.stats.pool_fallbacks == 2
+
+    merged = SimulatedNetwork().stats
+    merged.merge(network.stats)
+    assert merged.pool_fallbacks == 2
