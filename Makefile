@@ -1,21 +1,29 @@
 # Convenience targets for the PEM reproduction.
 #
 #   make test        - tier-1 verify: the full unit/integration suite
+#                      (tests/ plus the paper-figure benchmarks)
+#   make test-fast   - the tier-1 subset under tests/ only: small keys,
+#                      small kappa, seconds total — the inner-loop target
 #   make bench-smoke - regenerate BENCH_crypto.json at smoke scale,
 #                      including the 2-worker sharded-day experiment
-#   make docs-check  - verify the docs' referenced files/commands exist
-#                      and that the source tree byte-compiles
+#   make docs-check  - verify the docs' referenced files/commands exist,
+#                      that the source tree byte-compiles, and that
+#                      BENCH_crypto.json matches the documented schema
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke docs-check
+.PHONY: test test-fast bench-smoke docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest tests -x -q
 
 bench-smoke:
 	$(PYTHON) benchmarks/run_crypto_bench.py --scale smoke --workers 2
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py
+	$(PYTHON) scripts/check_bench_schema.py

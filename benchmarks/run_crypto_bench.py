@@ -8,6 +8,12 @@ pre-acceleration baseline so the perf trajectory is tracked PR over PR:
 * ``encrypt``: pooled online path vs. fresh exponentiation ("before"),
 * ``decrypt``: CRT fast path vs. textbook formula ("before"),
 * the offline obfuscator precompute cost per entry,
+* ``comparison``: the offline garbled-comparison pipeline — prepared
+  instances (offline garbling + OT extension) vs. the classic inline Yao
+  protocol, on both the simulated cost-model clock and measured wall
+  time, plus an outcome-identity certificate (the pooled path must agree
+  with the classic path and the plaintext comparison on random operands;
+  the script exits non-zero otherwise),
 * ``parallel_runner``: a Fig. 5-style sampled day executed serially and
   sharded across ``--workers`` processes — certifies the sharded run is
   bit-identical and records the day-runtime speedup on both the simulated
@@ -52,7 +58,16 @@ PARALLEL_SCALES = {
 SPEEDUP_PAIRS = {
     "encrypt_pooled_vs_fresh": ("test_paillier_encrypt", "test_paillier_encrypt_fresh"),
     "decrypt_crt_vs_textbook": ("test_paillier_decrypt", "test_paillier_decrypt_textbook"),
+    "comparison_pooled_vs_classic": (
+        "test_garbled_comparison_pooled_online",
+        "test_garbled_secure_comparison",
+    ),
 }
+
+#: comparator bit widths covered by the ``comparison`` report section.
+COMPARISON_BIT_WIDTHS = (32, 64)
+#: random operand pairs per width for the outcome-identity certificate.
+COMPARISON_SAMPLES = 24
 
 
 def run_benchmarks(scale: str, json_path: Path) -> None:
@@ -101,6 +116,75 @@ def distill(raw: dict, scale: str) -> dict:
         "benchmarks": benches,
         "speedups": speedups,
     }
+
+
+def run_comparison_section(benches: dict) -> dict:
+    """Build the ``comparison`` report section.
+
+    Simulated seconds come from the calibrated cost model (the repo's
+    canonical runtime metric); wall times from the distilled micro
+    benchmarks; ``outcomes_match`` certifies over random operand pairs
+    that the pooled path, the classic path and the plaintext comparison
+    all agree.
+    """
+    import random
+
+    from repro.crypto.circuits import build_greater_than_circuit
+    from repro.crypto.gc_pool import ComparisonPool
+    from repro.crypto.otext import DEFAULT_KAPPA
+    from repro.crypto.secure_comparison import secure_greater_than
+    from repro.net.costmodel import CryptoCostModel
+
+    model = CryptoCostModel()
+    section: dict = {}
+    for bit_width in COMPARISON_BIT_WIDTHS:
+        gates = build_greater_than_circuit(bit_width).and_gate_count
+        before = model.comparison_seconds(gates, bit_width)
+        after = model.comparison_seconds(gates, bit_width, pooled=True)
+
+        pool = ComparisonPool(bit_width)
+        pool.warm(COMPARISON_SAMPLES)
+        rng = random.Random(bit_width * 7919)
+        matches = True
+        for _ in range(COMPARISON_SAMPLES):
+            a = rng.randrange(0, 1 << bit_width)
+            b = rng.randrange(0, 1 << bit_width)
+            instance = pool.take()
+            pooled_result = instance.evaluate(a, b).result
+            classic_result = secure_greater_than(
+                a, b, bit_width=bit_width, rng=random.Random(a ^ b)
+            ).result
+            if not (pooled_result == classic_result == (a > b)):
+                matches = False
+                break
+
+        entry = {
+            "and_gate_count": gates,
+            "ot_count": bit_width,
+            "base_ot_count": DEFAULT_KAPPA,
+            "simulated_online_seconds_before": round(before, 9),
+            "simulated_online_seconds_after": round(after, 9),
+            "simulated_online_reduction": round(before / after, 2),
+            "simulated_offline_seconds_per_instance": round(
+                model.prepared_comparison_seconds(gates), 9
+            ),
+            "simulated_offline_seconds_per_session": round(
+                model.base_ot_session_seconds(DEFAULT_KAPPA), 9
+            ),
+            "outcomes_match": matches,
+            "samples": COMPARISON_SAMPLES,
+        }
+        param = str(bit_width)
+        pooled_wall = benches.get("test_garbled_comparison_pooled_online", {}).get(param)
+        classic_wall = benches.get("test_garbled_secure_comparison", {}).get(param)
+        if pooled_wall and classic_wall and pooled_wall["mean_s"] > 0:
+            entry["wall_online_seconds_before"] = classic_wall["mean_s"]
+            entry["wall_online_seconds_after"] = pooled_wall["mean_s"]
+            entry["wall_online_reduction"] = round(
+                classic_wall["mean_s"] / pooled_wall["mean_s"], 2
+            )
+        section[param] = entry
+    return section
 
 
 def run_parallel_day(scale: str, workers: int, background_refill: bool) -> dict:
@@ -172,6 +256,8 @@ def main() -> int:
         raw = json.loads(raw_path.read_text())
 
     report = distill(raw, args.scale)
+    print("running the comparison outcome-identity check ...")
+    report["comparison"] = run_comparison_section(report["benchmarks"])
     if not args.skip_parallel:
         print(f"running the sharded-day experiment ({args.workers} workers) ...")
         report["parallel_runner"] = run_parallel_day(
@@ -183,6 +269,25 @@ def main() -> int:
     for label, per_param in report["speedups"].items():
         for param, ratio in sorted(per_param.items()):
             print(f"  {label}[{param}]: {ratio}x")
+    failed = False
+    for param, entry in sorted(report["comparison"].items()):
+        print(
+            f"  comparison[{param}b]: {entry['simulated_online_reduction']}x online "
+            f"simulated reduction"
+            + (
+                f", {entry['wall_online_reduction']}x wall"
+                if "wall_online_reduction" in entry
+                else ""
+            )
+            + f", outcomes_match={entry['outcomes_match']}"
+        )
+        if not entry["outcomes_match"]:
+            print(
+                f"ERROR: pooled comparison outcomes diverged from the classic "
+                f"path / plaintext at {param} bits — correctness regression",
+                file=sys.stderr,
+            )
+            failed = True
     parallel = report.get("parallel_runner")
     if parallel:
         print(
@@ -198,8 +303,8 @@ def main() -> int:
                 "(results_identical=false) — determinism regression",
                 file=sys.stderr,
             )
-            return 1
-    return 0
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

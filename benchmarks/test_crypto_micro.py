@@ -23,7 +23,13 @@ import random
 import pytest
 from conftest import scaled
 
-from repro.crypto import RandomizerPool, generate_keypair, homomorphic_sum, secure_greater_than
+from repro.crypto import (
+    ComparisonPool,
+    RandomizerPool,
+    generate_keypair,
+    homomorphic_sum,
+    secure_greater_than,
+)
 
 KEY_SIZES = scaled((256, 512), (512, 1024), (512, 1024, 2048), smoke=(256,))
 
@@ -111,8 +117,38 @@ def test_paillier_homomorphic_sum_batched(benchmark, keypairs, bits):
 
 @pytest.mark.parametrize("bit_width", (32, 64))
 def test_garbled_secure_comparison(benchmark, bit_width):
+    """The classic inline path: garble + public-key OTs on every call ("before")."""
     rng = random.Random(bit_width)
     result = benchmark(
         lambda: secure_greater_than(2**bit_width - 2, 2**bit_width - 3, bit_width=bit_width, rng=rng)
     )
     assert result.result is True
+
+
+#: prepared instances per pooled-comparison benchmark run (each round
+#: consumes exactly one — the one-shot invariant holds under benchmarking).
+POOLED_COMPARISON_ROUNDS = 20
+
+
+@pytest.mark.parametrize("bit_width", (32, 64))
+def test_garbled_comparison_pooled_online(benchmark, bit_width):
+    """The pooled online path: symmetric-key evaluation of prepared instances.
+
+    Garbling and the base OTs happened at warm time (offline); each round
+    draws a fresh instance from the pool and pays only label transfer
+    (XOR-derandomized OT extension) plus per-gate hashing.
+    """
+    pool = ComparisonPool(bit_width)
+    pool.warm(POOLED_COMPARISON_ROUNDS)
+
+    def setup():
+        instance = pool.take()
+        assert instance is not None, "pool drained mid-benchmark"
+        return (instance,), {}
+
+    def run(instance):
+        return instance.evaluate(2**bit_width - 2, 2**bit_width - 3)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=POOLED_COMPARISON_ROUNDS)
+    assert result.result is True
+    assert pool.fallback_count == 0

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Validate the structure of ``BENCH_crypto.json`` (part of `make docs-check`).
+
+The benchmark report is the repo's PR-over-PR performance ledger; several
+documents and the roadmap reference its sections by name.  This check keeps
+a regenerated file honest:
+
+* top-level keys: ``scale``, ``machine``, ``datetime``, ``benchmarks``,
+  ``speedups`` — with every benchmark entry carrying ``mean_s`` /
+  ``stddev_s`` / ``rounds``;
+* the ``parallel_runner`` section (when present) must certify
+  ``results_identical`` and carry both clocks;
+* the ``comparison`` section (added with the offline garbled-comparison
+  pipeline) must exist, certify ``outcomes_match`` per bit width, and show
+  an online simulated-seconds reduction of at least the documented 3x.
+
+Exits non-zero with a list of problems, so it can gate CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_crypto.json"
+
+#: Minimum online simulated-seconds reduction the pooled comparison must
+#: show over the classic inline path (the PR's acceptance floor).
+MIN_COMPARISON_REDUCTION = 3.0
+
+_PARALLEL_REQUIRED = (
+    "workers",
+    "host_cpu_count",
+    "results_identical",
+    "pool_fallbacks",
+    "simulated_day_seconds_serial",
+    "simulated_day_seconds_parallel",
+    "simulated_speedup",
+    "wall_seconds_serial",
+    "wall_seconds_parallel",
+)
+
+_COMPARISON_REQUIRED = (
+    "and_gate_count",
+    "ot_count",
+    "base_ot_count",
+    "simulated_online_seconds_before",
+    "simulated_online_seconds_after",
+    "simulated_online_reduction",
+    "simulated_offline_seconds_per_instance",
+    "outcomes_match",
+)
+
+
+def _check_benchmarks(report: dict, problems: list) -> None:
+    benches = report.get("benchmarks")
+    if not isinstance(benches, dict) or not benches:
+        problems.append("missing or empty 'benchmarks' section")
+        return
+    for group, by_param in benches.items():
+        if not isinstance(by_param, dict) or not by_param:
+            problems.append(f"benchmarks[{group!r}] is not a non-empty mapping")
+            continue
+        for param, stats in by_param.items():
+            for key in ("mean_s", "stddev_s", "rounds"):
+                if key not in stats:
+                    problems.append(f"benchmarks[{group!r}][{param!r}] lacks {key!r}")
+
+
+def _check_parallel(report: dict, problems: list) -> None:
+    parallel = report.get("parallel_runner")
+    if parallel is None:
+        return  # optional (--skip-parallel runs)
+    for key in _PARALLEL_REQUIRED:
+        if key not in parallel:
+            problems.append(f"parallel_runner lacks {key!r}")
+    if parallel.get("results_identical") is not True:
+        problems.append("parallel_runner.results_identical is not true")
+
+
+def _check_comparison(report: dict, problems: list) -> None:
+    comparison = report.get("comparison")
+    if not isinstance(comparison, dict) or not comparison:
+        problems.append("missing or empty 'comparison' section")
+        return
+    for bit_width, entry in comparison.items():
+        for key in _COMPARISON_REQUIRED:
+            if key not in entry:
+                problems.append(f"comparison[{bit_width!r}] lacks {key!r}")
+        if entry.get("outcomes_match") is not True:
+            problems.append(f"comparison[{bit_width!r}].outcomes_match is not true")
+        reduction = entry.get("simulated_online_reduction", 0.0)
+        if not isinstance(reduction, (int, float)) or reduction < MIN_COMPARISON_REDUCTION:
+            problems.append(
+                f"comparison[{bit_width!r}] online reduction {reduction!r} is below "
+                f"the documented {MIN_COMPARISON_REDUCTION}x floor"
+            )
+
+
+def validate(path: Path = BENCH_PATH) -> list:
+    problems: list = []
+    if not path.exists():
+        return [f"missing {path.name}"]
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path.name} is not valid JSON: {exc}"]
+    for key in ("scale", "machine", "datetime", "speedups"):
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    _check_benchmarks(report, problems)
+    _check_parallel(report, problems)
+    _check_comparison(report, problems)
+    return problems
+
+
+def main() -> int:
+    problems = validate()
+    if problems:
+        print("check-bench-schema: FAILED")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"check-bench-schema: OK ({BENCH_PATH.name} matches the documented schema)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

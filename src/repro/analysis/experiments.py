@@ -298,6 +298,8 @@ class ParallelDayObservation:
             two runs — bounded by the machine's real core count.
         pool_fallbacks: merged drained-pool fallback count (0 means the
             offline warm-up fully covered the online encryptions).
+        gc_fallbacks: merged drained-comparison-pool fallback count (0
+            means every secure comparison evaluated a prepared instance).
     """
 
     home_count: int
@@ -310,6 +312,7 @@ class ParallelDayObservation:
     serial_wall_seconds: float
     parallel_wall_seconds: float
     pool_fallbacks: int
+    gc_fallbacks: int = 0
 
 
 def experiment_parallel_day(
@@ -360,6 +363,7 @@ def experiment_parallel_day(
         serial_wall_seconds=serial.wall_seconds,
         parallel_wall_seconds=parallel.wall_seconds,
         pool_fallbacks=parallel.stats.pool_fallbacks,
+        gc_fallbacks=parallel.stats.gc_fallbacks,
     )
 
 

@@ -1,0 +1,62 @@
+"""Paillier chain aggregation shared by Protocols 2 and 3.
+
+Both Private Market Evaluation (the blinded demand/supply rounds) and
+Private Pricing (the two seller aggregates) collect an encrypted sum the
+same way: each contributor encrypts its own value under the *leader's*
+public key, multiplies it into the running ciphertext received from its
+predecessor and forwards the product, with the last hop delivering to the
+leader (Protocol 2 lines 2-9, Protocol 3 lines 3-8).  This module holds
+that one chain so the two protocols cannot drift apart in how they charge
+the cost model or warm the leader's randomizer pool.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...crypto.paillier import PaillierCiphertext
+from ...net.message import MessageKind
+from .context import AgentRuntime, ProtocolContext
+
+__all__ = ["chain_aggregate"]
+
+
+def chain_aggregate(
+    context: ProtocolContext,
+    contributors: List[AgentRuntime],
+    values: List[int],
+    public_key,
+    kind: MessageKind,
+    final_recipient: AgentRuntime,
+) -> PaillierCiphertext:
+    """Chain-aggregate encrypted values along a sequence of agents.
+
+    Each contributor encrypts its own value under ``public_key`` and
+    multiplies it into the running ciphertext received from its predecessor;
+    the last contributor forwards the product to ``final_recipient``.
+    Returns the ciphertext as received by the final recipient.
+
+    Every contributor encrypts under the same (leader's) public key, so the
+    chain's exact obfuscator demand is known upfront: the leader's pool is
+    topped up once (offline) and each hop's encryption is a single online
+    modular multiplication.
+    """
+    context.warm_pool(public_key, len(contributors))
+    running: Optional[PaillierCiphertext] = None
+    for index, (agent, value) in enumerate(zip(contributors, values)):
+        own = context.encrypt(public_key, value)
+        if running is None:
+            running = own
+        else:
+            running = running.add_ciphertext(own)
+            context.charge_homomorphic_ops(1)
+        is_last = index == len(contributors) - 1
+        next_hop = final_recipient if is_last else contributors[index + 1]
+        agent.party.send(
+            next_hop.agent_id,
+            kind,
+            payload=running.to_bytes(),
+            metadata={"window": context.coalitions.window, "hop": index},
+        )
+    assert running is not None
+    return running

@@ -22,14 +22,21 @@ Offline vs. online accounting
 The context is also where the cost model's two clocks are fed:
 
 * ``TrafficStats.simulated_seconds`` — the *online critical path*: chain
-  hops, communication rounds, homomorphic aggregation, the garbled
-  comparison, and the single mulmod of each pooled encryption.
+  hops, communication rounds, homomorphic aggregation, the (pooled)
+  garbled comparison, and the single mulmod of each pooled encryption.
 * ``TrafficStats.offline_seconds`` — *idle-time precomputation*: every
   obfuscator produced by :meth:`ProtocolContext.warm_pools` /
   :meth:`ProtocolContext.warm_pool` is charged here via
   :meth:`ProtocolContext.charge_offline_precompute`, mirroring the paper's
   "encryption and decryption are independently executed in parallel during
   idle time".
+* ``TrafficStats.gc_offline_seconds`` — the same split for the garbled
+  comparison: :meth:`ProtocolContext.warm_comparisons` garbles the
+  window's comparator instance and runs its base-OT session during setup,
+  so :meth:`ProtocolContext.run_secure_less_than` leaves only
+  symmetric-key evaluation on the online clock (drained pools fall back to
+  the classic inline Yao protocol, counted in
+  ``TrafficStats.gc_fallbacks``).
 
 Pooled obfuscators obey a strict **one-shot invariant**: each precomputed
 ``r^n mod n^2`` value is handed to exactly one encryption (reuse would link
@@ -50,6 +57,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ...crypto.accel import RandomizerPool
 from ...crypto.fixedpoint import DEFAULT_PRECISION, FixedPointCodec
+from ...crypto.gc_pool import ComparisonPool
+from ...crypto.secure_comparison import (
+    SecureComparisonResult,
+    prepared_less_than,
+    secure_less_than,
+)
 from ...crypto.paillier import (
     PaillierCiphertext,
     PaillierKeyPair,
@@ -93,6 +106,17 @@ class ProtocolConfig:
         pool_headroom: baseline obfuscators precomputed per key during
             window setup; the protocols top chosen leaders' pools up with
             exact counts, so this only needs to cover stray encryptions.
+        use_comparison_pool: prepare garbled-comparison instances (circuit
+            garbling + OT-extension batches) during window setup so the
+            online comparison is symmetric-key work only; disable to model
+            a deployment that garbles on the critical path.
+        comparison_pool_headroom: prepared comparisons per window.  Each
+            window runs exactly one secure comparison (Protocol 2), so the
+            default of 1 is exact; a drained pool falls back to the classic
+            Yao protocol and is counted in ``TrafficStats.gc_fallbacks``.
+        ot_extension_kappa: base OTs per window-scoped OT-extension
+            session (the computational security parameter of the IKNP
+            extension).
     """
 
     key_size: int = 512
@@ -103,6 +127,9 @@ class ProtocolConfig:
     comparison_bits: int = 64
     use_randomizer_pools: bool = True
     pool_headroom: int = 2
+    use_comparison_pool: bool = True
+    comparison_pool_headroom: int = 1
+    ot_extension_kappa: int = 128
 
 
 def _derived_rng(seed: int, *labels: object) -> random.Random:
@@ -154,6 +181,11 @@ class KeyRing:
         #: the modulus ``n``).  The keyring generated every private key, so
         #: each pool precomputes obfuscators via the owner's fast CRT path.
         self._randomizer_pools: Dict[int, RandomizerPool] = {}
+        #: offline garbled-comparison pools, one per circuit bit width.
+        #: Like the randomizer pools they draw all label/choice randomness
+        #: from the system CSPRNG (a derived stream would garble identical
+        #: circuits in two worker processes — see repro.crypto.gc_pool).
+        self._comparison_pools: Dict[int, ComparisonPool] = {}
 
     def _pool_slot(self, agent_id: str) -> int:
         digest = hashlib.sha256(agent_id.encode()).digest()
@@ -209,18 +241,42 @@ class KeyRing:
         """All pools the keyring owns (one per distinct public key)."""
         return list(self._randomizer_pools.values())
 
+    def comparison_pool(self, bit_width: int) -> ComparisonPool:
+        """Return the (long-lived) prepared-comparison pool for one width."""
+        pool = self._comparison_pools.get(bit_width)
+        if pool is None:
+            pool = ComparisonPool(bit_width, kappa=self._config.ot_extension_kappa)
+            self._comparison_pools[bit_width] = pool
+        return pool
+
+    @property
+    def comparison_pools(self) -> List[ComparisonPool]:
+        """All garbled-comparison pools the keyring owns (one per width)."""
+        return list(self._comparison_pools.values())
+
+    @property
+    def refillable_pools(self) -> List[object]:
+        """Every pool a background refiller can stock (both kinds)."""
+        return list(self._randomizer_pools.values()) + list(
+            self._comparison_pools.values()
+        )
+
     def recycle_pools(self) -> int:
         """Move every pool's unused entries back to its reservoir.
 
         Called by the engine at the start of each trading window so the
         per-window offline accounting (how many obfuscators ``warm_pools``
-        produces) is a deterministic function of the window alone, never of
-        which windows happened to run earlier in the same process.  The
-        recycled values are not wasted — they re-enter through the reservoir
-        (still handed out at most once), only the *accounting* restarts from
-        a cold pool.  Returns the number of entries recycled.
+        produces, and whether a fresh OT-extension session is charged) is a
+        deterministic function of the window alone, never of which windows
+        happened to run earlier in the same process.  The recycled values
+        are not wasted — they re-enter through the reservoir (still handed
+        out at most once), only the *accounting* restarts from a cold pool.
+        Returns the number of entries recycled (obfuscators plus prepared
+        comparisons).
         """
-        return sum(pool.recycle() for pool in self._randomizer_pools.values())
+        recycled = sum(pool.recycle() for pool in self._randomizer_pools.values())
+        recycled += sum(pool.recycle() for pool in self._comparison_pools.values())
+        return recycled
 
 
 @dataclass
@@ -284,6 +340,8 @@ class ProtocolContext:
         self._register_agents()
         if config.use_randomizer_pools:
             self.warm_pools()
+        if config.use_comparison_pool:
+            self.warm_comparisons()
 
     # -- setup -------------------------------------------------------------------
 
@@ -337,6 +395,29 @@ class ProtocolContext:
             seen.add(key.n)
             produced += self.keyring.randomizer_pool(key).warm(target_per_key)
         self.charge_offline_precompute(produced)
+        return produced
+
+    def warm_comparisons(self, target: Optional[int] = None) -> int:
+        """Prepare this window's garbled-comparison instances (offline).
+
+        Garbling, the window's base-OT session and the OT-extension batches
+        all happen here — idle time, charged to the dedicated
+        ``gc_offline_seconds`` clock — so the online comparison of
+        Protocol 2 is left with symmetric-key evaluation and label
+        transfer only.  Returns the number of instances prepared.
+        """
+        if not self.config.use_comparison_pool:
+            return 0
+        if target is None:
+            target = self.config.comparison_pool_headroom
+        pool = self.keyring.comparison_pool(self.config.comparison_bits)
+        sessions_before = pool.sessions_started
+        produced = pool.warm(target)
+        self.charge_comparison_offline(
+            pool.and_gate_count,
+            produced,
+            new_sessions=pool.sessions_started - sessions_before,
+        )
         return produced
 
     def warm_pool(self, public_key, count: int) -> int:
@@ -412,6 +493,26 @@ class ProtocolContext:
                 self.cost_model.offline_precompute_cost(count)
             )
 
+    def charge_comparison_offline(
+        self, gate_count: int, count: int, new_sessions: int = 0
+    ) -> None:
+        """Charge prepared-comparison work to the ``gc_offline_seconds`` clock.
+
+        ``count`` instances were garbled (plus their OT-extension batches)
+        and ``new_sessions`` window-scoped base-OT sessions were opened.
+        """
+        if self.cost_model is None:
+            return
+        seconds = 0.0
+        if count:
+            seconds += self.cost_model.comparison_offline_cost(gate_count, count)
+        if new_sessions:
+            seconds += new_sessions * self.cost_model.comparison_session_cost(
+                self.config.ot_extension_kappa
+            )
+        if seconds:
+            self.network.charge_gc_offline_time(seconds)
+
     def charge_decryptions(self, count: int) -> None:
         if self.cost_model is not None:
             self.network.charge_crypto_time(self.cost_model.decryption_cost(count))
@@ -420,11 +521,37 @@ class ProtocolContext:
         if self.cost_model is not None:
             self.network.charge_crypto_time(self.cost_model.aggregation_cost(count))
 
-    def charge_comparison(self, gate_count: int, ot_count: int) -> None:
+    def charge_comparison(
+        self, gate_count: int, ot_count: int, pooled: bool = False
+    ) -> None:
         if self.cost_model is not None:
             self.network.charge_crypto_time(
-                self.cost_model.comparison_cost(gate_count, ot_count)
+                self.cost_model.comparison_cost(gate_count, ot_count, pooled=pooled)
             )
+
+    def run_secure_less_than(self, garbler_value: int, evaluator_value: int) -> SecureComparisonResult:
+        """Run this window's secure ``garbler_value < evaluator_value`` test.
+
+        Prefers a prepared instance from the window's comparison pool (the
+        online phase is then symmetric-key only, charged with
+        ``pooled=True``); a drained pool falls back to the classic Yao
+        protocol — garbling and public-key OTs on the online clock —
+        counted in ``TrafficStats.gc_fallbacks`` so under-provisioned
+        preparation is visible in traces, never silently absorbed.
+        """
+        bits = self.config.comparison_bits
+        if self.config.use_comparison_pool:
+            prepared = self.keyring.comparison_pool(bits).take()
+            if prepared is not None:
+                result = prepared_less_than(prepared, garbler_value, evaluator_value)
+                self.charge_comparison(result.and_gate_count, bits, pooled=True)
+                return result
+            self.network.record_gc_fallback()
+        result = secure_less_than(
+            garbler_value, evaluator_value, bit_width=bits, rng=self.rng
+        )
+        self.charge_comparison(result.and_gate_count, bits)
+        return result
 
     def charge_chain(self, hop_count: int, bytes_per_hop: int) -> None:
         """Charge a sequential chain of messages to the critical path."""

@@ -101,9 +101,15 @@ class PrivateWindowTrace:
         offline_seconds: idle-time randomizer-pool precomputation charged
             by the cost model; by construction never on the critical path
             (the paper pipelines encryption/decryption during idle time).
+        gc_offline_seconds: idle-time garbled-comparison preparation
+            (circuit garbling, the window's base-OT session, OT-extension
+            batches) — the comparison-side analogue of
+            ``offline_seconds``.
         pool_fallback_count: encryptions whose randomizer pool was drained
             and that therefore paid a full online exponentiation — nonzero
             values flag under-provisioned pool warm-ups.
+        gc_fallback_count: secure comparisons whose prepared-instance pool
+            was drained and that therefore garbled on the online clock.
     """
 
     result: WindowResult
@@ -114,7 +120,9 @@ class PrivateWindowTrace:
     protocol_bandwidth_bytes: int = 0
     simulated_runtime_seconds: float = 0.0
     offline_seconds: float = 0.0
+    gc_offline_seconds: float = 0.0
     pool_fallback_count: int = 0
+    gc_fallback_count: int = 0
 
 
 class PrivateTradingEngine:
@@ -165,7 +173,9 @@ class PrivateTradingEngine:
         start_settlement_bytes = baseline_stats.bytes_for_kinds(_SETTLEMENT_KINDS)
         start_seconds = baseline_stats.simulated_seconds
         start_offline = baseline_stats.offline_seconds
+        start_gc_offline = baseline_stats.gc_offline_seconds
         start_fallbacks = baseline_stats.pool_fallbacks
+        start_gc_fallbacks = baseline_stats.gc_fallbacks
 
         # Window boundary: park unused pool entries in the reservoirs so the
         # offline accounting of this window never depends on which windows
@@ -182,7 +192,7 @@ class PrivateTradingEngine:
             trace = PrivateWindowTrace(result=result)
             self._attach_measurements(
                 trace, network, start_bytes, start_settlement_bytes, start_seconds,
-                start_offline, start_fallbacks,
+                start_offline, start_gc_offline, start_fallbacks, start_gc_fallbacks,
             )
             return trace
 
@@ -235,7 +245,7 @@ class PrivateTradingEngine:
         )
         self._attach_measurements(
             trace, network, start_bytes, start_settlement_bytes, start_seconds,
-            start_offline, start_fallbacks,
+            start_offline, start_gc_offline, start_fallbacks, start_gc_fallbacks,
         )
         return trace
 
@@ -247,7 +257,9 @@ class PrivateTradingEngine:
         start_settlement_bytes: int,
         start_seconds: float,
         start_offline: float,
+        start_gc_offline: float = 0.0,
         start_fallbacks: int = 0,
+        start_gc_fallbacks: int = 0,
     ) -> None:
         trace.bandwidth_bytes = network.stats.total_bytes - start_bytes
         settlement_bytes = (
@@ -256,7 +268,9 @@ class PrivateTradingEngine:
         trace.protocol_bandwidth_bytes = trace.bandwidth_bytes - settlement_bytes
         trace.simulated_runtime_seconds = network.stats.simulated_seconds - start_seconds
         trace.offline_seconds = network.stats.offline_seconds - start_offline
+        trace.gc_offline_seconds = network.stats.gc_offline_seconds - start_gc_offline
         trace.pool_fallback_count = network.stats.pool_fallbacks - start_fallbacks
+        trace.gc_fallback_count = network.stats.gc_fallbacks - start_gc_fallbacks
         trace.result.bandwidth_bytes = trace.bandwidth_bytes
         trace.result.simulated_runtime_seconds = trace.simulated_runtime_seconds
 

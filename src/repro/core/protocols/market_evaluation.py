@@ -20,12 +20,10 @@ let alone any individual net energy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
-from ...crypto.paillier import PaillierCiphertext
-from ...crypto.secure_comparison import secure_less_than
 from ...net.message import MessageKind
-from .context import AgentRuntime, ProtocolContext
+from .aggregation import chain_aggregate
+from .context import ProtocolContext
 
 __all__ = ["MarketEvaluationResult", "run_market_evaluation"]
 
@@ -47,48 +45,6 @@ class MarketEvaluationResult:
     leader_buyer_id: str
     blinded_demand: int
     blinded_supply: int
-
-
-def _chain_aggregate(
-    context: ProtocolContext,
-    contributors: List[AgentRuntime],
-    values: List[int],
-    public_key,
-    kind: MessageKind,
-    final_recipient: AgentRuntime,
-) -> PaillierCiphertext:
-    """Chain-aggregate encrypted values along a sequence of agents.
-
-    Each contributor encrypts its own value under ``public_key`` and
-    multiplies it into the running ciphertext received from its predecessor
-    (Lines 2-9 of Protocol 2); the last contributor forwards the product to
-    ``final_recipient``.  Returns the ciphertext as received by the final
-    recipient.
-
-    Every contributor encrypts under the same (leader's) public key, so the
-    chain's exact obfuscator demand is known upfront: the leader's pool is
-    topped up once (offline) and each hop's encryption is a single online
-    modular multiplication.
-    """
-    context.warm_pool(public_key, len(contributors))
-    running: Optional[PaillierCiphertext] = None
-    for index, (agent, value) in enumerate(zip(contributors, values)):
-        own = context.encrypt(public_key, value)
-        if running is None:
-            running = own
-        else:
-            running = running.add_ciphertext(own)
-            context.charge_homomorphic_ops(1)
-        is_last = index == len(contributors) - 1
-        next_hop = final_recipient if is_last else contributors[index + 1]
-        agent.party.send(
-            next_hop.agent_id,
-            kind,
-            payload=running.to_bytes(),
-            metadata={"window": context.coalitions.window, "hop": index},
-        )
-    assert running is not None
-    return running
 
 
 def run_market_evaluation(context: ProtocolContext) -> MarketEvaluationResult:
@@ -114,7 +70,7 @@ def run_market_evaluation(context: ProtocolContext) -> MarketEvaluationResult:
 
     contributors = context.buyers + other_sellers
     values = buyer_values + seller_nonces
-    ciphertext = _chain_aggregate(
+    ciphertext = chain_aggregate(
         context,
         contributors,
         values,
@@ -137,7 +93,7 @@ def run_market_evaluation(context: ProtocolContext) -> MarketEvaluationResult:
 
     contributors = context.sellers + other_buyers
     values = seller_values + buyer_nonces
-    ciphertext = _chain_aggregate(
+    ciphertext = chain_aggregate(
         context,
         contributors,
         values,
@@ -157,13 +113,12 @@ def run_market_evaluation(context: ProtocolContext) -> MarketEvaluationResult:
     blinded_supply += leader_buyer.nonce
 
     # ---- Secure comparison of the blinded aggregates (Fairplay-style). ----
-    comparison = secure_less_than(
-        blinded_supply,
-        blinded_demand,
-        bit_width=context.config.comparison_bits,
-        rng=context.rng,
-    )
-    context.charge_comparison(comparison.and_gate_count, context.config.comparison_bits)
+    # The instance was prepared during window setup when the comparison
+    # pool is enabled (garbling, base OTs and OT-extension batches all on
+    # the idle-time clock); the online phase is then symmetric-key label
+    # transfer and evaluation only.  The context charges the cost model
+    # for whichever path actually ran.
+    comparison = context.run_secure_less_than(blinded_supply, blinded_demand)
     context.network.charge_extra_traffic(
         leader_buyer.agent_id, sent=comparison.garbler_bytes_sent
     )

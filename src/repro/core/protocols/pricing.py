@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ...crypto.paillier import PaillierCiphertext
 from ...net.message import MessageKind
+from .aggregation import chain_aggregate
 from .context import AgentRuntime, ProtocolContext
 
 __all__ = ["PricingResult", "run_private_pricing"]
@@ -52,27 +53,15 @@ def _seller_chain_aggregate(
     leader: AgentRuntime,
     kind: MessageKind,
 ) -> PaillierCiphertext:
-    """Chain-aggregate one encrypted value per seller toward the leader buyer."""
-    sellers = context.sellers
-    context.warm_pool(leader.public_key, len(sellers))
-    running: Optional[PaillierCiphertext] = None
-    for index, (seller, value) in enumerate(zip(sellers, values)):
-        own = context.encrypt(leader.public_key, value)
-        if running is None:
-            running = own
-        else:
-            running = running.add_ciphertext(own)
-            context.charge_homomorphic_ops(1)
-        is_last = index == len(sellers) - 1
-        next_hop = leader if is_last else sellers[index + 1]
-        seller.party.send(
-            next_hop.agent_id,
-            kind,
-            payload=running.to_bytes(),
-            metadata={"window": context.coalitions.window, "hop": index},
-        )
-    assert running is not None
-    return running
+    """Chain-aggregate one encrypted value per seller toward the leader buyer.
+
+    Thin wrapper over the shared :func:`chain_aggregate` (identical wire
+    behavior to Protocol 2's rounds: same hop metadata, same cost charging,
+    same exact-count pool warm-up for the leader's key).
+    """
+    return chain_aggregate(
+        context, context.sellers, values, leader.public_key, kind, leader
+    )
 
 
 def run_private_pricing(context: ProtocolContext) -> PricingResult:

@@ -13,13 +13,18 @@ Python standard library:
   encryption.
 * :mod:`repro.crypto.circuits` — boolean circuit builders (comparator, adder).
 * :mod:`repro.crypto.ot` — 1-out-of-2 oblivious transfer (Bellare--Micali).
+* :mod:`repro.crypto.otext` — IKNP-style OT extension (constant base OTs,
+  symmetric-key transfers thereafter).
 * :mod:`repro.crypto.garbled` — Yao garbled circuits with point-and-permute.
+* :mod:`repro.crypto.gc_pool` — offline pools of prepared garbled
+  comparisons (the garbled-circuit analogue of :mod:`repro.crypto.accel`).
 * :mod:`repro.crypto.secure_comparison` — the Fairplay-style secure
   comparison used by Private Market Evaluation.
 """
 
 from .accel import RandomizerPool, precompute_obfuscator
 from .fixedpoint import DEFAULT_PRECISION, FixedPointCodec
+from .gc_pool import ComparisonPool, PreparedComparison
 from .paillier import (
     PaillierCiphertext,
     PaillierKeyPair,
@@ -29,7 +34,13 @@ from .paillier import (
     homomorphic_sum,
 )
 from .primes import generate_prime, generate_safe_prime, is_probable_prime
-from .secure_comparison import SecureComparisonResult, secure_greater_than, secure_less_than
+from .secure_comparison import (
+    SecureComparisonResult,
+    prepared_greater_than,
+    prepared_less_than,
+    secure_greater_than,
+    secure_less_than,
+)
 
 __all__ = [
     "DEFAULT_PRECISION",
@@ -39,6 +50,8 @@ __all__ = [
     "PaillierPrivateKey",
     "PaillierPublicKey",
     "RandomizerPool",
+    "ComparisonPool",
+    "PreparedComparison",
     "precompute_obfuscator",
     "generate_keypair",
     "homomorphic_sum",
@@ -48,4 +61,6 @@ __all__ = [
     "SecureComparisonResult",
     "secure_greater_than",
     "secure_less_than",
+    "prepared_greater_than",
+    "prepared_less_than",
 ]

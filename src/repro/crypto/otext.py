@@ -1,0 +1,388 @@
+"""IKNP-style 1-out-of-2 oblivious-transfer extension.
+
+The Bellare--Micali OT of :mod:`repro.crypto.ot` costs several modular
+exponentiations per transferred wire label, which is why the garbled
+comparison of Protocol 2 used to dominate the online critical path: a
+``w``-bit comparison needs ``w`` OTs, i.e. ``O(w)`` public-key operations
+*per comparison*.
+
+OT extension (Ishai--Kilian--Nissim--Petrank, CRYPTO'03) collapses that to
+a **constant number of public-key base OTs** — ``kappa``, the computational
+security parameter — after which any number of transfers costs only
+symmetric-key work (PRG expansion + hashing + XOR).  Combined with Beaver's
+precomputation trick the *online* phase of each transfer is pure XOR:
+
+1. **Base phase** (:func:`establish_correlation`, public-key, run during
+   idle time): the extension *receiver* plays base-OT **sender** with
+   ``kappa`` random seed pairs ``(k_i^0, k_i^1)``; the extension *sender*
+   plays base-OT **receiver** with a secret choice vector ``s`` and learns
+   ``k_i^{s_i}``.  This standing :class:`BaseOTCorrelation` can be extended
+   arbitrarily often — that is the whole point of IKNP.
+2. **Extension phase** (:func:`derive_batch`, symmetric, also off the
+   critical path): for a batch of ``n`` transfers the receiver PRG-expands
+   the seed pairs into an ``n x kappa`` bit matrix and sends the correction
+   columns ``u_i = G(k_i^0) XOR G(k_i^1) XOR c`` (``c`` = its *random*
+   choice bits); the sender reconstructs its rows ``q_j = t_j XOR (c_j &
+   s)`` and both sides hash their rows into one-time pads.  The result is a
+   batch of **random OTs**: receiver holds ``(c_j, H(t_j))``, sender holds
+   ``(H(q_j), H(q_j XOR s))``.
+3. **Online phase** (:meth:`PreparedOTBatch.transfer`): Beaver
+   derandomization.  The receiver reveals ``d_j = b_j XOR c_j`` for its
+   real choice bit ``b_j``; the sender replies with ``f_k = m_{k XOR d_j}
+   XOR pad_k``; the receiver unmasks ``f_{c_j}``.  No public-key operation,
+   no hashing beyond what was precomputed — just XOR and one round trip.
+
+Security model: semi-honest, like every other protocol in this
+reproduction.  Hash outputs are modeled as a random oracle (SHA-256), the
+PRG is the same SHA-256 stream used elsewhere in the crypto package.
+
+One-shot discipline: a :class:`PreparedOTBatch` masks each message pair
+with pads that are used **exactly once** — :meth:`transfer` refuses to run
+twice, mirroring the obfuscator one-shot invariant of
+:mod:`repro.crypto.accel` (a reused pad would leak the XOR of two labels).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .ot import OTGroup, run_oblivious_transfer
+
+__all__ = [
+    "DEFAULT_KAPPA",
+    "OTExtensionError",
+    "BaseOTCorrelation",
+    "PreparedOTBatch",
+    "establish_correlation",
+    "correlation_wire_bytes",
+    "derive_batch",
+    "shared_correlation",
+    "fresh_instance_tag",
+]
+
+#: Default computational security parameter (number of base OTs).
+DEFAULT_KAPPA = 128
+
+#: Length in bytes of the base-OT seeds that get extended.
+SEED_BYTES = 16
+
+
+class OTExtensionError(Exception):
+    """Raised on misuse of the OT-extension machinery (reuse, mismatch)."""
+
+
+def _prg(seed: bytes, tag: bytes, length: int) -> bytes:
+    """SHA-256 based PRG stream: expand ``seed`` to ``length`` bytes."""
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(seed + tag + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return out[:length]
+
+
+def _bits_from_bytes(data: bytes, count: int) -> List[int]:
+    return [(data[i // 8] >> (i % 8)) & 1 for i in range(count)]
+
+
+def _hash_pad(row: bytes, tag: bytes, index: int, length: int) -> bytes:
+    """Random-oracle hash of one matrix row into a ``length``-byte pad."""
+    return _prg(
+        hashlib.sha256(b"iknp-pad" + tag + index.to_bytes(4, "big") + row).digest(),
+        b"expand",
+        length,
+    )
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class BaseOTCorrelation:
+    """The standing IKNP correlation produced by the ``kappa`` base OTs.
+
+    Attributes:
+        kappa: number of base OTs / width of the bit matrix.
+        sender_choice: the extension sender's secret vector ``s``.
+        sender_seeds: the seeds ``k_i^{s_i}`` the sender obtained.
+        receiver_seed_pairs: the receiver's seed pairs ``(k_i^0, k_i^1)``.
+        base_ot_bytes: bytes the base OTs put on the wire (public-key
+            ciphertexts and group elements — the *offline* session cost).
+    """
+
+    kappa: int
+    sender_choice: Tuple[int, ...]
+    sender_seeds: Tuple[bytes, ...]
+    receiver_seed_pairs: Tuple[Tuple[bytes, bytes], ...]
+    base_ot_bytes: int
+
+
+def establish_correlation(
+    kappa: int = DEFAULT_KAPPA,
+    group: Optional[OTGroup] = None,
+    rng: Optional[random.Random] = None,
+) -> BaseOTCorrelation:
+    """Run the ``kappa`` public-key base OTs and return the correlation.
+
+    This is the only public-key step of the extension; everything derived
+    from the returned correlation is symmetric-key work.
+
+    Args:
+        kappa: security parameter (number of base OTs).
+        group: DH group for the base OTs (default: the cached 512-bit one).
+        rng: optional deterministic randomness (tests); defaults to the OS
+            CSPRNG.
+    """
+    if kappa < 1:
+        raise OTExtensionError(f"kappa must be >= 1, got {kappa}")
+    draw = rng or random.SystemRandom()
+    seed_pairs = [
+        (
+            bytes(draw.getrandbits(8) for _ in range(SEED_BYTES)),
+            bytes(draw.getrandbits(8) for _ in range(SEED_BYTES)),
+        )
+        for _ in range(kappa)
+    ]
+    choice = tuple(draw.getrandbits(1) for _ in range(kappa))
+    recovered, transferred = run_oblivious_transfer(
+        seed_pairs, list(choice), rng=rng, group=group
+    )
+    return BaseOTCorrelation(
+        kappa=kappa,
+        sender_choice=choice,
+        sender_seeds=tuple(recovered),
+        receiver_seed_pairs=tuple((a, b) for a, b in seed_pairs),
+        base_ot_bytes=transferred,
+    )
+
+
+def correlation_wire_bytes(kappa: int, group: Optional[OTGroup] = None) -> int:
+    """Deterministic wire size of a ``kappa``-base-OT session.
+
+    Used by the cost accounting instead of the measured bytes of whichever
+    correlation happened to serve a window, so byte counts are a pure
+    function of the protocol parameters (shard-invariant by construction).
+    """
+    group = group or OTGroup.default()
+    element_len = (group.p.bit_length() + 7) // 8
+    return kappa * (element_len * 3 + 2 * SEED_BYTES)
+
+
+@dataclass
+class PreparedOTBatch:
+    """A batch of precomputed random OTs, ready for online derandomization.
+
+    Produced offline by :func:`derive_batch`; consumed exactly once by
+    :meth:`transfer`.
+
+    Attributes:
+        count: number of transfers in the batch.
+        msg_len: byte length of each transferable message.
+        random_choices: the receiver's random choice bits ``c_j``.
+        receiver_pads: the receiver's pads ``H(t_j)``.
+        sender_pad_pairs: the sender's pad pairs ``(H(q_j), H(q_j XOR s))``.
+        extension_bytes: bytes of the offline extension messages (the ``u``
+            correction columns).
+    """
+
+    count: int
+    msg_len: int
+    random_choices: Tuple[int, ...]
+    receiver_pads: Tuple[bytes, ...]
+    sender_pad_pairs: Tuple[Tuple[bytes, bytes], ...]
+    extension_bytes: int
+    _used: bool = field(default=False, repr=False)
+
+    @property
+    def used(self) -> bool:
+        return self._used
+
+    def online_wire_bytes(self) -> int:
+        """Bytes the online phase will exchange (corrections + masked pairs)."""
+        return (self.count + 7) // 8 + 2 * self.count * self.msg_len
+
+    def transfer(
+        self,
+        message_pairs: Sequence[Tuple[bytes, bytes]],
+        choice_bits: Sequence[int],
+    ) -> Tuple[List[bytes], int]:
+        """Run the online Beaver derandomization for real messages/choices.
+
+        Args:
+            message_pairs: one ``(m0, m1)`` pair per transfer.
+            choice_bits: the receiver's real choice bit per transfer.
+
+        Returns:
+            ``(recovered, online_bytes)`` — the chosen messages and the
+            bytes this online exchange put on the wire.
+
+        Raises:
+            OTExtensionError: on reuse or length mismatch.
+        """
+        if self._used:
+            raise OTExtensionError(
+                "prepared OT batch already consumed (pads are one-shot)"
+            )
+        if len(message_pairs) != self.count or len(choice_bits) != self.count:
+            raise OTExtensionError(
+                f"batch holds {self.count} transfers, got "
+                f"{len(message_pairs)} pairs / {len(choice_bits)} choices"
+            )
+        self._used = True
+
+        recovered: List[bytes] = []
+        for j, ((m0, m1), bit) in enumerate(zip(message_pairs, choice_bits)):
+            if len(m0) != self.msg_len or len(m1) != self.msg_len:
+                raise OTExtensionError(
+                    f"messages must be {self.msg_len} bytes (transfer {j})"
+                )
+            b = int(bit) & 1
+            c = self.random_choices[j]
+            d = b ^ c
+            pad0, pad1 = self.sender_pad_pairs[j]
+            # Sender: f_k = m_{k XOR d} XOR pad_k; receiver unmasks f_c.
+            f = (
+                _xor(m0 if d == 0 else m1, pad0),
+                _xor(m1 if d == 0 else m0, pad1),
+            )
+            recovered.append(_xor(f[c], self.receiver_pads[j]))
+        return recovered, self.online_wire_bytes()
+
+
+def derive_batch(
+    correlation: BaseOTCorrelation,
+    count: int,
+    msg_len: int,
+    instance: bytes,
+    choice_rng: Optional[random.Random] = None,
+) -> PreparedOTBatch:
+    """Extend the correlation into ``count`` precomputed random OTs.
+
+    Pure symmetric-key work (offline): PRG-expand the base seeds, form the
+    correction columns, hash rows into pads.
+
+    Args:
+        correlation: the standing base-OT correlation.
+        count: number of transfers to prepare.
+        msg_len: byte length of the messages the batch will carry.
+        instance: a unique domain-separation tag for this batch.  Reusing a
+            tag against the same correlation would reuse pads, so callers
+            must guarantee uniqueness (see :func:`shared_correlation`).
+        choice_rng: source of the receiver's random choice bits (defaults
+            to the OS CSPRNG).
+    """
+    if count < 1:
+        raise OTExtensionError(f"batch must contain >= 1 transfers, got {count}")
+    draw = choice_rng or random.SystemRandom()
+    kappa = correlation.kappa
+    choices = tuple(draw.getrandbits(1) for _ in range(count))
+    choice_bytes = bytes(
+        sum(choices[i + k] << k for k in range(min(8, count - i)))
+        for i in range(0, count, 8)
+    )
+
+    # Receiver side: columns t_i = G(k_i^0); corrections u_i = t_i XOR
+    # G(k_i^1) XOR c.  (Transmitting u_i is the extension's offline traffic.)
+    column_len = (count + 7) // 8
+    t_columns: List[List[int]] = []
+    u_columns: List[bytes] = []
+    for i, (k0, k1) in enumerate(correlation.receiver_seed_pairs):
+        tag = b"col" + instance + i.to_bytes(4, "big")
+        g0 = _prg(k0, tag, column_len)
+        g1 = _prg(k1, tag, column_len)
+        t_columns.append(_bits_from_bytes(g0, count))
+        u_columns.append(_xor(_xor(g0, g1), choice_bytes.ljust(column_len, b"\x00")))
+
+    # Sender side: q_i = G(k_i^{s_i}) XOR (s_i ? u_i : 0)  =>  row_j =
+    # t_j XOR (c_j & s).  Simulated in-process directly from the columns.
+    q_columns: List[List[int]] = []
+    for i in range(kappa):
+        s_i = correlation.sender_choice[i]
+        tag = b"col" + instance + i.to_bytes(4, "big")
+        g = _bits_from_bytes(_prg(correlation.sender_seeds[i], tag, column_len), count)
+        if s_i:
+            u_bits = _bits_from_bytes(u_columns[i], count)
+            g = [g_bit ^ u_bit for g_bit, u_bit in zip(g, u_bits)]
+        q_columns.append(g)
+
+    def row_bytes(columns: List[List[int]], j: int) -> bytes:
+        return bytes(
+            sum(columns[i + k][j] << k for k in range(min(8, kappa - i)))
+            for i in range(0, kappa, 8)
+        )
+
+    s_row = bytes(
+        sum(correlation.sender_choice[i + k] << k for k in range(min(8, kappa - i)))
+        for i in range(0, kappa, 8)
+    )
+
+    receiver_pads: List[bytes] = []
+    sender_pad_pairs: List[Tuple[bytes, bytes]] = []
+    for j in range(count):
+        q_j = row_bytes(q_columns, j)
+        t_j = row_bytes(t_columns, j)
+        pad0 = _hash_pad(q_j, instance, j, msg_len)
+        pad1 = _hash_pad(_xor(q_j, s_row), instance, j, msg_len)
+        sender_pad_pairs.append((pad0, pad1))
+        # Receiver knows t_j = q_j XOR (c_j & s): its pad is pad_{c_j}.
+        receiver_pads.append(_hash_pad(t_j, instance, j, msg_len))
+
+    return PreparedOTBatch(
+        count=count,
+        msg_len=msg_len,
+        random_choices=choices,
+        receiver_pads=tuple(receiver_pads),
+        sender_pad_pairs=tuple(sender_pad_pairs),
+        extension_bytes=kappa * column_len,
+    )
+
+
+# -- process-wide correlation cache ------------------------------------------------
+#
+# Establishing a correlation costs ``kappa`` public-key base OTs of real
+# wall-clock time.  Cryptographically one standing correlation can be
+# extended forever (unique instance tags keep every derived pad distinct),
+# so the in-process simulation shares one per (kappa, group) — exactly the
+# reservoir philosophy of :mod:`repro.crypto.accel`: the *accounting* of
+# base-OT sessions is charged per window by the protocol layer and never
+# depends on where the real work happened.
+
+_CORRELATION_CACHE: Dict[Tuple[int, int], BaseOTCorrelation] = {}
+_CORRELATION_LOCK = threading.Lock()
+
+
+def shared_correlation(
+    kappa: int = DEFAULT_KAPPA, group: Optional[OTGroup] = None
+) -> BaseOTCorrelation:
+    """Return the process-wide correlation for ``(kappa, group)``.
+
+    Created on first use with CSPRNG randomness; safe to call from the
+    protocol thread and the background refiller concurrently.
+    """
+    group = group or OTGroup.default()
+    key = (kappa, group.p)
+    with _CORRELATION_LOCK:
+        correlation = _CORRELATION_CACHE.get(key)
+        if correlation is None:
+            correlation = establish_correlation(kappa, group=group)
+            _CORRELATION_CACHE[key] = correlation
+        return correlation
+
+
+def fresh_instance_tag() -> bytes:
+    """A globally-unique domain-separation tag for one derived batch.
+
+    Drawn from the kernel CSPRNG rather than a process counter: forked
+    worker processes inherit both the correlation cache and any counter
+    state, and two workers extending the same inherited correlation under
+    the same tag would derive byte-identical one-time pads for different
+    wire labels — the cross-shard pad reuse this module forbids.
+    ``os.urandom``-backed draws cannot collide across forks.
+    """
+    return secrets.token_bytes(16)

@@ -58,7 +58,8 @@ def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = N
         n: candidate integer.
         rounds: number of random Miller--Rabin rounds for large ``n``.
         rng: optional random source for witness selection (defaults to the
-            module-level ``random`` generator).
+            OS CSPRNG — never the module-level generator, whose global
+            state a seeded caller may rely on staying untouched).
 
     Returns:
         True if ``n`` is (probably) prime.
@@ -82,7 +83,7 @@ def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = N
         witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
         return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
 
-    rng = rng or random
+    rng = rng or random.SystemRandom()
     for _ in range(rounds):
         a = rng.randrange(2, n - 1)
         if not _miller_rabin_round(n, a, d, r):
@@ -111,7 +112,7 @@ def generate_prime(bits: int, rng: Optional[random.Random] = None) -> int:
     while True:
         candidate = rng.getrandbits(bits)
         candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
-        if is_probable_prime(candidate, rng=rng if isinstance(rng, random.Random) else None):
+        if is_probable_prime(candidate, rng=rng):
             return candidate
 
 
@@ -135,7 +136,9 @@ def generate_safe_prime(bits: int, rng: Optional[random.Random] = None) -> int:
     while True:
         q = generate_prime(bits - 1, rng)
         p = 2 * q + 1
-        if p.bit_length() == bits and is_probable_prime(p):
+        # The caller's rng is threaded through so a seeded run stays fully
+        # reproducible and never touches the module-level generator.
+        if p.bit_length() == bits and is_probable_prime(p, rng=rng):
             return p
 
 

@@ -12,12 +12,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .circuits import build_greater_than_circuit, int_to_bits
 from .garbled import run_two_party_computation
 
-__all__ = ["SecureComparisonResult", "secure_greater_than", "secure_less_than"]
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from .gc_pool import PreparedComparison
+
+__all__ = [
+    "SecureComparisonResult",
+    "secure_greater_than",
+    "secure_less_than",
+    "prepared_greater_than",
+    "prepared_less_than",
+]
 
 #: Default bit width for compared values.  Aggregated, nonce-blinded net
 #: energy values in PEM are fixed-point integers well below 2^64.
@@ -37,12 +46,16 @@ class SecureComparisonResult:
         garbler_bytes_sent: bytes sent by the garbler (circuit + labels + OT).
         evaluator_bytes_sent: bytes sent by the evaluator (OT choices).
         and_gate_count: number of non-free gates garbled (cost indicator).
+        pooled: whether the instance came prepared from an offline
+            :class:`~repro.crypto.gc_pool.ComparisonPool` (only symmetric
+            work happened online) or ran the classic Yao protocol inline.
     """
 
     result: bool
     garbler_bytes_sent: int
     evaluator_bytes_sent: int
     and_gate_count: int
+    pooled: bool = False
 
 
 def secure_greater_than(
@@ -107,4 +120,51 @@ def secure_less_than(
         garbler_bytes_sent=swapped.garbler_bytes_sent,
         evaluator_bytes_sent=swapped.evaluator_bytes_sent,
         and_gate_count=swapped.and_gate_count,
+    )
+
+
+def prepared_greater_than(
+    prepared: "PreparedComparison", garbler_value: int, evaluator_value: int
+) -> SecureComparisonResult:
+    """Compute ``garbler_value > evaluator_value`` on a prepared instance.
+
+    The instance was garbled — and its oblivious transfers precomputed —
+    offline (see :mod:`repro.crypto.gc_pool`); only symmetric-key label
+    transfer and evaluation happen here.  Input validation mirrors
+    :func:`secure_greater_than` so the two paths are interchangeable.
+
+    Raises:
+        SecureComparisonError: on out-of-range inputs, instance reuse, or a
+            bit-width mismatch between the inputs and the prepared circuit.
+    """
+    from .gc_pool import ComparisonError
+
+    try:
+        run = prepared.evaluate(garbler_value, evaluator_value)
+    except ComparisonError as exc:
+        raise SecureComparisonError(str(exc)) from exc
+    return SecureComparisonResult(
+        result=run.result,
+        garbler_bytes_sent=run.garbler_bytes_sent,
+        evaluator_bytes_sent=run.evaluator_bytes_sent,
+        and_gate_count=run.and_gate_count,
+        pooled=True,
+    )
+
+
+def prepared_less_than(
+    prepared: "PreparedComparison", garbler_value: int, evaluator_value: int
+) -> SecureComparisonResult:
+    """Compute ``garbler_value < evaluator_value`` on a prepared instance.
+
+    Operand-swapped :func:`prepared_greater_than`, exactly like
+    :func:`secure_less_than` swaps :func:`secure_greater_than`.
+    """
+    swapped = prepared_greater_than(prepared, evaluator_value, garbler_value)
+    return SecureComparisonResult(
+        result=swapped.result,
+        garbler_bytes_sent=swapped.garbler_bytes_sent,
+        evaluator_bytes_sent=swapped.evaluator_bytes_sent,
+        and_gate_count=swapped.and_gate_count,
+        pooled=True,
     )

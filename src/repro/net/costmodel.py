@@ -53,6 +53,18 @@ class CryptoCostModel:
         obfuscator_reference_seconds: offline cost of precomputing one
             ``r^n mod n^2`` obfuscator via the key owner's CRT path
             (~half a fresh encryption).
+        garble_gate_seconds: offline cost of garbling one non-free gate
+            when preparing a comparison instance (four SHA-256 row
+            encryptions plus label bookkeeping).
+        eval_gate_seconds: online cost of evaluating one non-free garbled
+            gate (a single SHA-256 row decryption).
+        ot_extension_transfer_seconds: online cost of one *extended* OT
+            (Beaver derandomization: XOR and a table lookup — symmetric
+            work, three orders of magnitude below a public-key OT).
+
+    The garbled-circuit costs are key-size independent (symmetric crypto
+    and a fixed DH group), matching the paper's observation that the
+    comparison does not scale with the Paillier key.
     """
 
     key_size: int = 1024
@@ -64,6 +76,9 @@ class CryptoCostModel:
     crt_decrypt_speedup: float = 3.5
     pooled_encrypt_reference_seconds: float = 0.00002
     obfuscator_reference_seconds: float = 0.004
+    garble_gate_seconds: float = 0.000016
+    eval_gate_seconds: float = 0.000004
+    ot_extension_transfer_seconds: float = 0.000002
 
     def _scale(self) -> float:
         return (self.key_size / 1024.0) ** 3
@@ -92,9 +107,30 @@ class CryptoCostModel:
     def homomorphic_op_seconds(self) -> float:
         return self.homomorphic_op_reference_seconds * self._scale()
 
-    def comparison_seconds(self, gate_count: int, ot_count: int) -> float:
-        """Cost of one garbled-circuit comparison."""
+    def comparison_seconds(
+        self, gate_count: int, ot_count: int, pooled: bool = False
+    ) -> float:
+        """Online cost of one garbled-circuit comparison.
+
+        ``pooled`` means the instance was prepared offline: the online
+        phase only evaluates (one hash per non-free gate) and
+        derandomizes the precomputed OTs (XOR each).  The classic path
+        garbles and runs ``ot_count`` public-key transfers inline.
+        """
+        if pooled:
+            return (
+                gate_count * self.eval_gate_seconds
+                + ot_count * self.ot_extension_transfer_seconds
+            )
         return gate_count * self.garbled_gate_seconds + ot_count * self.ot_transfer_seconds
+
+    def prepared_comparison_seconds(self, gate_count: int, count: int = 1) -> float:
+        """Offline cost of garbling ``count`` comparison instances."""
+        return count * gate_count * self.garble_gate_seconds
+
+    def base_ot_session_seconds(self, base_ot_count: int) -> float:
+        """Offline cost of one OT-extension session's public-key base OTs."""
+        return base_ot_count * self.ot_transfer_seconds
 
 
 @dataclass(frozen=True)
@@ -202,6 +238,25 @@ class CostModel:
         """Fixed per-window protocol session overhead."""
         return self.network.per_window_setup_seconds
 
-    def comparison_cost(self, gate_count: int, ot_count: int) -> float:
-        """Cost of one secure comparison (always on the critical path)."""
-        return self.crypto.comparison_seconds(gate_count, ot_count)
+    def comparison_cost(
+        self, gate_count: int, ot_count: int, pooled: bool = False
+    ) -> float:
+        """Online cost of one secure comparison (always on the critical path).
+
+        A ``pooled`` comparison evaluates a prepared instance — symmetric
+        work only; the garbling and public-key OTs it saved show up in
+        :meth:`comparison_offline_cost` / :meth:`comparison_session_cost`.
+        """
+        return self.crypto.comparison_seconds(gate_count, ot_count, pooled=pooled)
+
+    def comparison_offline_cost(self, gate_count: int, count: int = 1) -> float:
+        """Idle-time cost of preparing ``count`` comparison instances.
+
+        Accumulated on the dedicated ``gc_offline_seconds`` clock
+        (:class:`~repro.net.stats.TrafficStats`), never the critical path.
+        """
+        return self.crypto.prepared_comparison_seconds(gate_count, count)
+
+    def comparison_session_cost(self, base_ot_count: int) -> float:
+        """Idle-time cost of one window's OT-extension base-OT session."""
+        return self.crypto.base_ot_session_seconds(base_ot_count)

@@ -197,6 +197,21 @@ class SimulatedNetwork:
         if self.cost_model is not None and seconds > 0:
             self.stats.add_offline_time(seconds)
 
+    def charge_gc_offline_time(self, seconds: float) -> None:
+        """Accumulate idle-time garbled-comparison preparation cost."""
+        if self.cost_model is not None and seconds > 0:
+            self.stats.add_gc_offline_time(seconds)
+
+    def record_gc_fallback(self, count: int = 1) -> None:
+        """Record comparisons whose prepared-instance pool was drained.
+
+        Like :meth:`record_pool_fallback`, this only makes the event
+        *visible*; the classic Yao protocol's cost is charged to the
+        online clock through :meth:`charge_crypto_time`.
+        """
+        if count > 0:
+            self.stats.record_gc_fallback(count)
+
     def record_pool_fallback(self, count: int = 1) -> None:
         """Record encryptions whose randomizer pool was drained.
 

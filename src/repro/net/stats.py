@@ -50,12 +50,20 @@ class TrafficStats:
     #: simulated idle-time seconds spent on offline precomputation
     #: (randomizer-pool warm-up); deliberately kept off the critical path.
     offline_seconds: float = 0.0
+    #: simulated idle-time seconds spent preparing garbled comparisons
+    #: (circuit garbling, base OTs, OT-extension batches) — the
+    #: garbled-circuit analogue of :attr:`offline_seconds`.
+    gc_offline_seconds: float = 0.0
     #: how many encryptions found their randomizer pool drained and had to
     #: run the full online exponentiation instead of a pooled mulmod.  A
     #: nonzero count means the offline warm-up under-provisioned the pools
     #: (the online clock silently absorbed exponentiations that should have
     #: been pipelined), so traces surface it explicitly.
     pool_fallbacks: int = 0
+    #: how many secure comparisons found the comparison pool drained and
+    #: ran the classic Yao protocol (garbling + public-key OTs) on the
+    #: online clock instead of evaluating a prepared instance.
+    gc_fallbacks: int = 0
 
     def record_send(self, sender: str, recipient: str, size: int, kind: str = "other") -> None:
         """Record one unicast message of ``size`` bytes."""
@@ -88,9 +96,17 @@ class TrafficStats:
         """Accumulate simulated idle-time (offline precompute) seconds."""
         self.offline_seconds += seconds
 
+    def add_gc_offline_time(self, seconds: float) -> None:
+        """Accumulate idle-time garbled-comparison preparation seconds."""
+        self.gc_offline_seconds += seconds
+
     def record_pool_fallback(self, count: int = 1) -> None:
         """Count encryptions that fell back to online exponentiation."""
         self.pool_fallbacks += count
+
+    def record_gc_fallback(self, count: int = 1) -> None:
+        """Count comparisons that ran the classic Yao protocol online."""
+        self.gc_fallbacks += count
 
     def merge(self, other: "TrafficStats") -> None:
         """Merge another stats object into this one (e.g. per-window totals)."""
@@ -102,7 +118,9 @@ class TrafficStats:
             self.bytes_by_kind[kind] += size
         self.simulated_seconds += other.simulated_seconds
         self.offline_seconds += other.offline_seconds
+        self.gc_offline_seconds += other.gc_offline_seconds
         self.pool_fallbacks += other.pool_fallbacks
+        self.gc_fallbacks += other.gc_fallbacks
 
     def average_bytes_per_party(self, parties: Iterable[str] | None = None) -> float:
         """Average total traffic (sent + received) across parties, in bytes.

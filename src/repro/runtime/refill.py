@@ -38,6 +38,8 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Optional
 
+from ..crypto.gc_pool import ComparisonPool
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..core.protocols.context import KeyRing
 
@@ -48,10 +50,16 @@ class BackgroundRefiller:
     """Daemon thread keeping a :class:`KeyRing`'s pool reservoirs stocked.
 
     Args:
-        keyring: the key ring whose randomizer pools to serve.  New pools
-            the ring creates after the refiller starts are picked up
-            automatically on the next sweep.
-        target: reservoir fill level to maintain per pool.
+        keyring: the key ring whose pools to serve — both the Paillier
+            randomizer pools and the garbled-comparison pools (see
+            :attr:`~repro.core.protocols.context.KeyRing.refillable_pools`).
+            New pools the ring creates after the refiller starts are picked
+            up automatically on the next sweep.
+        target: reservoir fill level to maintain per randomizer pool.
+        comparison_target: reservoir fill level per comparison pool
+            (prepared instances are bulkier than obfuscators — a garbled
+            circuit plus an OT-extension batch — and one window consumes
+            exactly one, so a handful is plenty).
         batch: obfuscators computed per pool per sweep (small batches keep
             the thread responsive to :meth:`stop`).
         idle_seconds: sleep between sweeps once every reservoir is full —
@@ -72,11 +80,17 @@ class BackgroundRefiller:
         target: int = 32,
         batch: int = 4,
         idle_seconds: float = 0.05,
+        comparison_target: int = 4,
     ) -> None:
         if target < 0:
             raise ValueError(f"target must be >= 0, got {target}")
+        if comparison_target < 0:
+            raise ValueError(
+                f"comparison_target must be >= 0, got {comparison_target}"
+            )
         self._keyring = keyring
         self._target = target
+        self._comparison_target = comparison_target
         self._batch = max(1, batch)
         self._idle_seconds = idle_seconds
         self._stop_event = threading.Event()
@@ -118,10 +132,15 @@ class BackgroundRefiller:
     def _sweep(self) -> int:
         """One pass over all pools; returns how many values were stocked."""
         stocked = 0
-        for pool in self._keyring.randomizer_pools:
+        for pool in self._keyring.refillable_pools:
             if self._stop_event.is_set():
                 break
-            deficit = self._target - pool.reservoir_available
+            target = (
+                self._comparison_target
+                if isinstance(pool, ComparisonPool)
+                else self._target
+            )
+            deficit = target - pool.reservoir_available
             if deficit > 0:
                 stocked += pool.stock(min(deficit, self._batch))
         return stocked

@@ -190,7 +190,9 @@ class RunReport:
                 and a.protocol_bandwidth_bytes == b.protocol_bandwidth_bytes
                 and a.simulated_runtime_seconds == b.simulated_runtime_seconds
                 and a.offline_seconds == b.offline_seconds
+                and a.gc_offline_seconds == b.gc_offline_seconds
                 and a.pool_fallback_count == b.pool_fallback_count
+                and a.gc_fallback_count == b.gc_fallback_count
                 and a.market_evaluation_leader_ids == b.market_evaluation_leader_ids
                 and a.pricing_leader_id == b.pricing_leader_id
                 and a.ratio_holder_id == b.ratio_holder_id
@@ -204,7 +206,9 @@ class RunReport:
             and dict(s.bytes_by_kind) == dict(o.bytes_by_kind)
             and s.simulated_seconds == o.simulated_seconds
             and s.offline_seconds == o.offline_seconds
+            and s.gc_offline_seconds == o.gc_offline_seconds
             and s.pool_fallbacks == o.pool_fallbacks
+            and s.gc_fallbacks == o.gc_fallbacks
         )
 
     # -- simulated-clock aggregates (the paper's runtime metric) ---------------

@@ -12,16 +12,16 @@ import random
 
 import pytest
 
+import helpers
 from repro.core import PAPER_PARAMETERS, PlainTradingEngine
 from repro.core.pem import build_agents, states_for_window
 from repro.core.protocols import ProtocolConfig
-from repro.crypto import generate_keypair
 from repro.data import TraceConfig, generate_dataset
 from repro.data.loader import iter_windows
 from repro.data.profiles import ProfilePopulation
 
 #: Small key size used across unit tests (fast but structurally identical).
-TEST_KEY_SIZE = 128
+TEST_KEY_SIZE = helpers.TEST_KEY_SIZE
 
 
 @pytest.fixture(scope="session")
@@ -33,7 +33,13 @@ def rng():
 @pytest.fixture(scope="session")
 def keypair():
     """A small Paillier key pair shared by crypto unit tests."""
-    return generate_keypair(TEST_KEY_SIZE, random.Random(42))
+    return helpers.shared_keypair(TEST_KEY_SIZE, 42)
+
+
+@pytest.fixture(scope="session")
+def ot_correlation():
+    """A small deterministic base-OT correlation for GC tests."""
+    return helpers.shared_correlation()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,233 @@
+"""Property-based harness for the garbled-comparison pipeline.
+
+Three families of guarantees must survive the offline refactor:
+
+* **bit-identity** — garbled evaluation (classic and pooled/prepared)
+  matches the plaintext comparison for randomized bit widths and operands;
+* **sign/range discipline** — negative or oversized operands are rejected
+  on both paths with the same exception type;
+* **fail-closed under tampering** — corrupting garbled rows, transferred
+  labels, OT masks or output-decoding tables makes evaluation raise, never
+  return a wrong-but-plausible bit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import TEST_KAPPA, small_comparison_pool
+from repro.crypto.circuits import build_greater_than_circuit, int_to_bits
+from repro.crypto.garbled import (
+    GarbledGate,
+    GarblingError,
+    WireLabel,
+    evaluate_garbled_circuit,
+    garble_circuit,
+)
+from repro.crypto.gc_pool import ComparisonError, PreparedComparison
+from repro.crypto.otext import OTExtensionError, derive_batch
+from repro.crypto.secure_comparison import (
+    SecureComparisonError,
+    prepared_greater_than,
+    prepared_less_than,
+)
+
+
+@pytest.fixture(scope="module")
+def correlation(ot_correlation):
+    # The session-cached small-kappa correlation from tests/helpers.py.
+    return ot_correlation
+
+
+def prepared(bit_width, correlation, seed):
+    circuit = build_greater_than_circuit(bit_width)
+    return PreparedComparison(
+        circuit, bit_width, correlation, rng=random.Random(seed)
+    )
+
+
+# -- bit-identity properties -----------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bit_width=st.integers(min_value=1, max_value=20),
+    a=st.integers(min_value=0, max_value=2**20 - 1),
+    b=st.integers(min_value=0, max_value=2**20 - 1),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_prepared_evaluation_matches_plaintext(correlation, bit_width, a, b, seed):
+    a %= 1 << bit_width
+    b %= 1 << bit_width
+    instance = prepared(bit_width, correlation, seed)
+    assert prepared_greater_than(instance, a, b).result == (a > b)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bit_width=st.integers(min_value=1, max_value=16),
+    a=st.integers(min_value=0, max_value=2**16 - 1),
+    b=st.integers(min_value=0, max_value=2**16 - 1),
+)
+def test_prepared_less_than_matches_plaintext(correlation, bit_width, a, b):
+    a %= 1 << bit_width
+    b %= 1 << bit_width
+    instance = prepared(bit_width, correlation, seed=a ^ (b << 1))
+    result = prepared_less_than(instance, a, b)
+    assert result.result == (a < b)
+    assert result.pooled is True
+
+
+def test_pool_draws_match_plaintext_over_random_widths(correlation):
+    rng = random.Random(77)
+    for bit_width in (1, 2, 7, 13, 64):
+        pool = small_comparison_pool(bit_width)
+        pool.warm(3)
+        for _ in range(3):
+            a = rng.randrange(0, 1 << bit_width)
+            b = rng.randrange(0, 1 << bit_width)
+            instance = pool.take()
+            assert instance is not None
+            assert instance.evaluate(a, b).result == (a > b)
+        assert pool.fallback_count == 0
+
+
+def test_boundary_operands(correlation):
+    for bit_width in (1, 8, 64):
+        top = (1 << bit_width) - 1
+        for a, b in ((0, 0), (top, top), (0, top), (top, 0)):
+            instance = prepared(bit_width, correlation, seed=a + b + bit_width)
+            assert instance.evaluate(a, b).result == (a > b)
+
+
+# -- operand sign / range discipline ---------------------------------------------------
+
+
+@pytest.mark.parametrize("bad_pair", [(-1, 3), (3, -1), (-5, -2)])
+def test_negative_operands_rejected(bad_pair, correlation):
+    instance = prepared(8, correlation, seed=1)
+    with pytest.raises(SecureComparisonError):
+        prepared_greater_than(instance, *bad_pair)
+    # Rejection happens before evaluation, so the instance is still fresh.
+    assert not instance.used
+    assert instance.evaluate(4, 2).result is True
+
+
+def test_oversized_operands_rejected(correlation):
+    instance = prepared(8, correlation, seed=2)
+    with pytest.raises(SecureComparisonError):
+        prepared_greater_than(instance, 256, 3)
+    with pytest.raises(SecureComparisonError):
+        prepared_greater_than(instance, 3, 1 << 12)
+
+
+def test_one_shot_reuse_rejected(correlation):
+    instance = prepared(8, correlation, seed=3)
+    assert instance.evaluate(9, 4).result is True
+    with pytest.raises(ComparisonError):
+        instance.evaluate(9, 4)
+    # And through the secure_comparison wrapper the error is translated.
+    other = prepared(8, correlation, seed=4)
+    prepared_greater_than(other, 1, 2)
+    with pytest.raises(SecureComparisonError):
+        prepared_greater_than(other, 1, 2)
+
+
+# -- adversarial tampering fails closed ------------------------------------------------
+
+
+def _flip_bit(data: bytes, bit: int = 0) -> bytes:
+    return bytes([data[0] ^ (1 << bit)]) + data[1:]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=0, max_value=2**12 - 1),
+    st.integers(min_value=0, max_value=2**12 - 1),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_tampered_rows_fail_closed(bit_width, a, b, seed):
+    """Corrupting every garbled row must raise, never mis-evaluate."""
+    a %= 1 << bit_width
+    b %= 1 << bit_width
+    rng = random.Random(seed)
+    circuit = build_greater_than_circuit(bit_width)
+    out = garble_circuit(circuit, rng=rng)
+    tampered = [
+        GarbledGate(
+            gate_type=g.gate_type,
+            input_wires=g.input_wires,
+            output_wire=g.output_wire,
+            rows=tuple(_flip_bit(row, bit=seed % 8) for row in g.rows),
+        )
+        for g in out.garbled.gates
+    ]
+    out.garbled.gates = tampered
+    garbler_labels = out.garbler_input_labels(int_to_bits(a, bit_width))
+    evaluator_labels = [
+        out.wire_labels[w].for_value(bit)
+        for w, bit in zip(circuit.evaluator_inputs, int_to_bits(b, bit_width))
+    ]
+    with pytest.raises(GarblingError):
+        evaluate_garbled_circuit(out.garbled, garbler_labels, evaluator_labels)
+
+
+def test_tampered_output_decoding_fails_closed():
+    circuit = build_greater_than_circuit(4)
+    out = garble_circuit(circuit, rng=random.Random(5))
+    wire = circuit.output_wires[0]
+    zero_digest, one_digest = out.garbled.output_decoding[wire]
+    out.garbled.output_decoding[wire] = (_flip_bit(zero_digest), _flip_bit(one_digest))
+    garbler_labels = out.garbler_input_labels(int_to_bits(9, 4))
+    evaluator_labels = [
+        out.wire_labels[w].for_value(bit)
+        for w, bit in zip(circuit.evaluator_inputs, int_to_bits(3, 4))
+    ]
+    with pytest.raises(GarblingError):
+        evaluate_garbled_circuit(out.garbled, garbler_labels, evaluator_labels)
+
+
+def test_tampered_wire_label_fails_closed():
+    circuit = build_greater_than_circuit(4)
+    out = garble_circuit(circuit, rng=random.Random(6))
+    garbler_labels = out.garbler_input_labels(int_to_bits(5, 4))
+    forged = [
+        WireLabel(key=_flip_bit(label.key), external_bit=label.external_bit)
+        for label in garbler_labels
+    ]
+    evaluator_labels = [
+        out.wire_labels[w].for_value(bit)
+        for w, bit in zip(circuit.evaluator_inputs, int_to_bits(11, 4))
+    ]
+    with pytest.raises(GarblingError):
+        evaluate_garbled_circuit(out.garbled, forged, evaluator_labels)
+
+
+def test_tampered_ot_masks_fail_closed(correlation):
+    """Flipping bits in the prepared OT pads corrupts the transferred label."""
+    instance = prepared(6, correlation, seed=8)
+    batch = instance._ot_batch
+    batch.sender_pad_pairs = tuple(
+        (_flip_bit(p0), _flip_bit(p1)) for p0, p1 in batch.sender_pad_pairs
+    )
+    with pytest.raises((ComparisonError, GarblingError)):
+        instance.evaluate(33, 17)
+
+
+def test_ot_batch_one_shot_and_length_checks(correlation):
+    batch = derive_batch(
+        correlation, count=4, msg_len=8, instance=b"test-batch", choice_rng=random.Random(9)
+    )
+    pairs = [(bytes([i] * 8), bytes([i + 1] * 8)) for i in range(4)]
+    recovered, _ = batch.transfer(pairs, [0, 1, 0, 1])
+    assert [m[0] for m in recovered] == [0, 2, 2, 4]
+    with pytest.raises(OTExtensionError):
+        batch.transfer(pairs, [0, 1, 0, 1])
+    fresh = derive_batch(
+        correlation, count=4, msg_len=8, instance=b"test-batch-2", choice_rng=random.Random(9)
+    )
+    with pytest.raises(OTExtensionError):
+        fresh.transfer(pairs[:3], [0, 1, 0])

@@ -6,20 +6,24 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from helpers import shared_keypair
 from repro.crypto.accel import RandomizerPool
 from repro.crypto.fixedpoint import FixedPointCodec
-from repro.crypto.paillier import generate_keypair
 
-# One shared small key pair for all property tests (module import time).
-_KEYPAIR = generate_keypair(128, random.Random(2024))
+# One shared small key pair for all property tests, drawn from the
+# session-wide cache (tests/helpers.py) so no other module re-derives it.
+_KEYPAIR = shared_keypair(128, 2024)
 _LIMIT = _KEYPAIR.public_key.max_plaintext
 
 # Production-grade key sizes for the CRT / pooled-encryption equivalence
-# properties (generated once; 256/512 keep the suite fast while exercising
-# real multi-limb arithmetic).
-_SIZED_KEYPAIRS = {
-    bits: generate_keypair(bits, random.Random(bits)) for bits in (256, 512)
-}
+# properties; 256/512 keep the suite fast while exercising real multi-limb
+# arithmetic.  Resolved lazily through the shared cache — deriving them at
+# import time used to charge every pytest invocation at collection.
+_SIZED_BITS = (256, 512)
+
+
+def _sized_keypair(bits):
+    return shared_keypair(bits, bits)
 
 # Keep values far from the overflow bound so that sums of two stay valid.
 values = st.integers(min_value=-(_LIMIT // 4), max_value=_LIMIT // 4)
@@ -56,12 +60,12 @@ def test_homomorphic_addition_commutes(a, b):
     assert _KEYPAIR.private_key.decrypt(ct_ab) == _KEYPAIR.private_key.decrypt(ct_ba)
 
 
-@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+@pytest.mark.parametrize("bits", _SIZED_BITS)
 @settings(max_examples=15, deadline=None)
 @given(st.integers(min_value=-1000, max_value=1000), st.data())
 def test_crt_decrypt_equals_textbook(bits, value, data):
     """CRT decryption and the textbook formula agree on every residue."""
-    keypair = _SIZED_KEYPAIRS[bits]
+    keypair = _sized_keypair(bits)
     limit = keypair.public_key.max_plaintext
     # Mix small signed values with values drawn across the full range.
     wide = data.draw(st.integers(min_value=-limit, max_value=limit))
@@ -71,10 +75,10 @@ def test_crt_decrypt_equals_textbook(bits, value, data):
         assert keypair.private_key.decrypt(ct) == plaintext
 
 
-@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+@pytest.mark.parametrize("bits", _SIZED_BITS)
 def test_crt_decrypt_edge_residues(bits):
     """Edge residues (0, ±1, ±max_plaintext) survive both decrypt paths."""
-    keypair = _SIZED_KEYPAIRS[bits]
+    keypair = _sized_keypair(bits)
     limit = keypair.public_key.max_plaintext
     for plaintext in (0, 1, -1, limit, -limit, limit - 1, -(limit - 1)):
         ct = keypair.public_key.encrypt(plaintext)
@@ -82,12 +86,12 @@ def test_crt_decrypt_edge_residues(bits):
         assert keypair.private_key.decrypt(ct) == plaintext
 
 
-@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+@pytest.mark.parametrize("bits", _SIZED_BITS)
 @settings(max_examples=15, deadline=None)
 @given(st.integers(min_value=-10**9, max_value=10**9))
 def test_pooled_encrypt_equals_fresh(bits, value):
     """A pooled-obfuscator ciphertext decrypts identically to a fresh one."""
-    keypair = _SIZED_KEYPAIRS[bits]
+    keypair = _sized_keypair(bits)
     pool = RandomizerPool(
         keypair.public_key, random.Random(value), private_key=keypair.private_key
     )
@@ -97,9 +101,9 @@ def test_pooled_encrypt_equals_fresh(bits, value):
     assert keypair.private_key.decrypt(pooled) == keypair.private_key.decrypt(fresh) == value
 
 
-@pytest.mark.parametrize("bits", sorted(_SIZED_KEYPAIRS))
+@pytest.mark.parametrize("bits", _SIZED_BITS)
 def test_pooled_encrypt_edge_plaintexts(bits):
-    keypair = _SIZED_KEYPAIRS[bits]
+    keypair = _sized_keypair(bits)
     limit = keypair.public_key.max_plaintext
     pool = RandomizerPool(
         keypair.public_key, random.Random(bits), private_key=keypair.private_key

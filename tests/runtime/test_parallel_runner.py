@@ -8,29 +8,28 @@ day — floats compared with ``==``, not ``approx``.
 
 import pytest
 
-from repro.core import PAPER_PARAMETERS
-from repro.core.protocols import PrivateTradingEngine, ProtocolConfig
-from repro.data import TraceConfig, generate_dataset
+import helpers
+from repro.core.protocols import ProtocolConfig
 
-KEY_SIZE = 128
-WINDOWS = [330, 360, 390, 420]
+KEY_SIZE = helpers.TEST_KEY_SIZE
+WINDOWS = list(helpers.TINY_MARKET_WINDOWS)
 
 
 @pytest.fixture(scope="module")
 def day_dataset():
-    return generate_dataset(TraceConfig(home_count=12, window_count=720, seed=9))
+    # The canonical tiny trading day, cached for the whole session and
+    # shared with test_refiller / test_offline_accounting.
+    return helpers.tiny_dataset()
 
 
 def build_engine():
-    return PrivateTradingEngine(
-        params=PAPER_PARAMETERS,
-        config=ProtocolConfig(key_size=KEY_SIZE, key_pool_size=4, seed=21),
-    )
+    return helpers.tiny_market().engine()
 
 
 @pytest.fixture(scope="module")
-def serial_report(day_dataset):
-    return build_engine().run_windows_report(day_dataset, WINDOWS, workers=1)
+def serial_report():
+    # Session-cached serial baseline (read-only); see tests/helpers.py.
+    return helpers.tiny_market_serial_report()
 
 
 def assert_reports_identical(serial, parallel):
@@ -41,7 +40,9 @@ def assert_reports_identical(serial, parallel):
         assert a.protocol_bandwidth_bytes == b.protocol_bandwidth_bytes
         assert a.simulated_runtime_seconds == b.simulated_runtime_seconds
         assert a.offline_seconds == b.offline_seconds
+        assert a.gc_offline_seconds == b.gc_offline_seconds
         assert a.pool_fallback_count == b.pool_fallback_count
+        assert a.gc_fallback_count == b.gc_fallback_count
         assert a.market_evaluation_leader_ids == b.market_evaluation_leader_ids
         assert a.pricing_leader_id == b.pricing_leader_id
         assert a.ratio_holder_id == b.ratio_holder_id
@@ -51,7 +52,9 @@ def assert_reports_identical(serial, parallel):
     assert dict(s.bytes_by_kind) == dict(p.bytes_by_kind)
     assert s.simulated_seconds == p.simulated_seconds
     assert s.offline_seconds == p.offline_seconds
+    assert s.gc_offline_seconds == p.gc_offline_seconds
     assert s.pool_fallbacks == p.pool_fallbacks
+    assert s.gc_fallbacks == p.gc_fallbacks
     assert s.snapshot() == p.snapshot()
 
 

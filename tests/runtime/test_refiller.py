@@ -4,22 +4,21 @@ import random
 
 import pytest
 
+import helpers
 from repro.core import PAPER_PARAMETERS
 from repro.core.agent import AgentWindowState
 from repro.core.coalition import form_coalitions
-from repro.core.protocols import PrivateTradingEngine, ProtocolConfig, ProtocolContext
-from repro.crypto import generate_keypair
+from repro.core.protocols import ProtocolConfig, ProtocolContext
 from repro.crypto.accel import RandomizerPool
-from repro.data import TraceConfig, generate_dataset
 from repro.net import CostModel, SimulatedNetwork
 from repro.runtime import BackgroundRefiller
 
-KEY_SIZE = 128
+KEY_SIZE = helpers.TEST_KEY_SIZE
 
 
 @pytest.fixture(scope="module")
 def keypair():
-    return generate_keypair(KEY_SIZE, random.Random(77))
+    return helpers.shared_keypair(KEY_SIZE, 77)
 
 
 # -- RandomizerPool reservoir ---------------------------------------------------------
@@ -80,14 +79,11 @@ def test_one_shot_invariant_across_containers(keypair):
 
 @pytest.fixture(scope="module")
 def day_dataset():
-    return generate_dataset(TraceConfig(home_count=12, window_count=720, seed=9))
+    return helpers.tiny_dataset()
 
 
 def build_engine():
-    return PrivateTradingEngine(
-        params=PAPER_PARAMETERS,
-        config=ProtocolConfig(key_size=KEY_SIZE, key_pool_size=4, seed=21),
-    )
+    return helpers.tiny_market().engine()
 
 
 def test_refiller_prefill_and_thread_lifecycle(keypair):
@@ -101,6 +97,26 @@ def test_refiller_prefill_and_thread_lifecycle(keypair):
     with refiller:
         assert refiller.running
     assert not refiller.running
+
+
+def test_refiller_stocks_comparison_pools():
+    engine = build_engine()
+    engine.keyring.keypair_for("home-0")
+    comparison_pool = engine.keyring.comparison_pool(16)
+    refiller = BackgroundRefiller(engine.keyring, target=4, comparison_target=2)
+    stocked = refiller.prefill()
+    assert stocked == 4 + 2  # obfuscators + prepared comparisons
+    (randomizer_pool,) = engine.keyring.randomizer_pools
+    assert randomizer_pool.reservoir_available == 4
+    assert comparison_pool.reservoir_available == 2
+    # Stocking is unaccounted background work, like the Paillier reservoir.
+    assert comparison_pool.produced == 0
+    assert comparison_pool.sessions_started == 0
+    # A warm now pops the reservoir but accounts as a cold warm-up.
+    assert comparison_pool.warm(2) == 2
+    assert comparison_pool.produced == 2
+    assert comparison_pool.sessions_started == 1
+    assert comparison_pool.reservoir_available == 0
 
 
 def test_background_refill_does_not_change_results(day_dataset):
