@@ -6,14 +6,22 @@
 #                      small kappa, seconds total — the inner-loop target
 #   make bench-smoke - regenerate BENCH_crypto.json at smoke scale,
 #                      including the 2-worker sharded-day experiment
-#   make docs-check  - verify the docs' referenced files/commands exist,
-#                      that the source tree byte-compiles, and that
-#                      BENCH_crypto.json matches the documented schema
+#                      (overwrites the committed default-scale file —
+#                      don't commit smoke output)
+#   make docs-check  - verify the docs' referenced files/commands/links
+#                      exist, that the source tree byte-compiles, and
+#                      that BENCH_crypto.json matches the documented
+#                      schema
+#   make ci          - the full gate: test-fast, then docs-check, then a
+#                      smoke bench run written to a scratch file (so the
+#                      committed BENCH_crypto.json is left untouched);
+#                      the bench exits non-zero on any identity or
+#                      determinism regression
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench-smoke docs-check
+.PHONY: test test-fast bench-smoke docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,3 +35,7 @@ bench-smoke:
 docs-check:
 	$(PYTHON) scripts/docs_check.py
 	$(PYTHON) scripts/check_bench_schema.py
+
+ci: test-fast docs-check
+	$(PYTHON) benchmarks/run_crypto_bench.py --scale smoke --workers 2 \
+		--output $(or $(CI_BENCH_OUTPUT),/tmp/BENCH_crypto.ci.json)

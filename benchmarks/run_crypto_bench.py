@@ -19,7 +19,13 @@ pre-acceleration baseline so the perf trajectory is tracked PR over PR:
   bit-identical and records the day-runtime speedup on both the simulated
   clock (the repo's canonical runtime metric, near-linear in workers) and
   host wall-clock (bounded by the machine's real core count, which is also
-  recorded).
+  recorded),
+* ``aggregation_topology``: the chain-vs-tree encrypted-sum aggregation —
+  critical-path simulated time per topology at n ∈ {8, 32, 128}
+  requesters under the latency-hiding cost model, an identity certificate
+  (every topology must produce the bit-identical encrypted sum the serial
+  chain produces; the script exits non-zero otherwise), and a sharding
+  certificate (chain and tree days stay bit-identical at workers 1/2/4).
 
 Usage::
 
@@ -68,6 +74,14 @@ SPEEDUP_PAIRS = {
 COMPARISON_BIT_WIDTHS = (32, 64)
 #: random operand pairs per width for the outcome-identity certificate.
 COMPARISON_SAMPLES = 24
+
+#: requester counts covered by the ``aggregation_topology`` section.
+TOPOLOGY_REQUESTER_COUNTS = (8, 32, 128)
+#: topologies swept by the ``aggregation_topology`` section; the chain is
+#: the identity baseline, ``tree:2`` the reported speedup topology.
+TOPOLOGY_NAMES = ("chain", "tree:2", "tree:4")
+#: worker counts of the per-topology sharding certificate.
+TOPOLOGY_WORKER_COUNTS = (1, 2, 4)
 
 
 def run_benchmarks(scale: str, json_path: Path) -> None:
@@ -187,6 +201,68 @@ def run_comparison_section(benches: dict) -> dict:
     return section
 
 
+def run_topology_section() -> dict:
+    """Build the ``aggregation_topology`` report section.
+
+    Two certificates ride along with the speedup numbers:
+
+    * **identity** — every topology's encrypted sum must be bit-identical
+      to the serial chain's (seeded encryption randomness, commutative
+      Paillier product) and decrypt to the plaintext sum;
+    * **sharding** — a sampled trading day under each topology must stay
+      bit-identical (traces + merged stats, ``RunReport.identical_to``)
+      across worker counts 1/2/4.
+    """
+    from repro.analysis.experiments import (
+        experiment_aggregation_topologies,
+        experiment_topology_shard_invariance,
+    )
+
+    observations = experiment_aggregation_topologies(
+        requester_counts=TOPOLOGY_REQUESTER_COUNTS, topologies=TOPOLOGY_NAMES
+    )
+    by_count: dict = {}
+    for obs in observations:
+        by_count.setdefault(obs.requesters, {})[obs.topology] = obs
+
+    requesters_section: dict = {}
+    for count, row in sorted(by_count.items()):
+        chain = row["chain"]
+        entry: dict = {
+            "sums_identical": all(
+                obs.encrypted_sum == chain.encrypted_sum
+                and obs.decrypted_sum == obs.expected_sum
+                and obs.offline_seconds == chain.offline_seconds
+                for obs in row.values()
+            ),
+        }
+        for name, obs in sorted(row.items()):
+            entry[name] = {
+                "simulated_seconds": round(obs.simulated_seconds, 9),
+                "critical_path_rounds": obs.critical_path_rounds,
+                "hops": obs.hops,
+            }
+        entry["tree_vs_chain_speedup"] = round(
+            chain.simulated_seconds / row["tree:2"].simulated_seconds, 2
+        )
+        requesters_section[str(count)] = entry
+
+    invariance = experiment_topology_shard_invariance(
+        topologies=("chain", "tree:2"), worker_counts=TOPOLOGY_WORKER_COUNTS
+    )
+    shard_section = {
+        result.topology: {
+            "windows_executed": result.windows_executed,
+            "day_simulated_seconds": round(result.day_simulated_seconds, 6),
+            "identical": {
+                str(workers): ok for workers, ok in result.identical_by_workers.items()
+            },
+        }
+        for result in invariance
+    }
+    return {"requesters": requesters_section, "shard_invariance": shard_section}
+
+
 def run_parallel_day(scale: str, workers: int, background_refill: bool) -> dict:
     """Execute the sharded-day experiment and distill it for the report."""
     from repro.analysis.experiments import experiment_parallel_day
@@ -258,6 +334,8 @@ def main() -> int:
     report = distill(raw, args.scale)
     print("running the comparison outcome-identity check ...")
     report["comparison"] = run_comparison_section(report["benchmarks"])
+    print("running the aggregation-topology sweep + identity/sharding certificates ...")
+    report["aggregation_topology"] = run_topology_section()
     if not args.skip_parallel:
         print(f"running the sharded-day experiment ({args.workers} workers) ...")
         report["parallel_runner"] = run_parallel_day(
@@ -285,6 +363,36 @@ def main() -> int:
             print(
                 f"ERROR: pooled comparison outcomes diverged from the classic "
                 f"path / plaintext at {param} bits — correctness regression",
+                file=sys.stderr,
+            )
+            failed = True
+    topology = report["aggregation_topology"]
+    for count, entry in sorted(
+        topology["requesters"].items(), key=lambda item: int(item[0])
+    ):
+        print(
+            f"  aggregation_topology[n={count}]: "
+            f"{entry['tree_vs_chain_speedup']}x tree:2 vs chain simulated, "
+            f"sums_identical={entry['sums_identical']}"
+        )
+        if not entry["sums_identical"]:
+            print(
+                f"ERROR: tree and chain aggregation sums diverged at "
+                f"{count} requesters — correctness regression",
+                file=sys.stderr,
+            )
+            failed = True
+    for name, cert in sorted(topology["shard_invariance"].items()):
+        flags = cert["identical"]
+        print(
+            f"  aggregation_topology[{name}]: shard-invariant at workers "
+            + "/".join(sorted(flags, key=int))
+            + f" = {all(flags.values())}"
+        )
+        if not all(flags.values()):
+            print(
+                f"ERROR: {name}-topology day diverged under sharding "
+                f"({flags}) — determinism regression",
                 file=sys.stderr,
             )
             failed = True

@@ -12,7 +12,12 @@ a regenerated file honest:
   ``results_identical`` and carry both clocks;
 * the ``comparison`` section (added with the offline garbled-comparison
   pipeline) must exist, certify ``outcomes_match`` per bit width, and show
-  an online simulated-seconds reduction of at least the documented 3x.
+  an online simulated-seconds reduction of at least the documented 3x;
+* the ``aggregation_topology`` section (added with the topology
+  subsystem) must exist, certify ``sums_identical`` per requester count
+  and shard invariance per topology at workers 1/2/4, and show the
+  binary tree beating the chain by at least 2x at the largest requester
+  count (the measured value is ~10x at n=128).
 
 Exits non-zero with a list of problems, so it can gate CI.
 """
@@ -41,6 +46,13 @@ _PARALLEL_REQUIRED = (
     "wall_seconds_serial",
     "wall_seconds_parallel",
 )
+
+#: Minimum tree:2-vs-chain simulated speedup at the largest requester
+#: count (conservative floor; the expected value is ~n / log2(n)).
+MIN_TREE_SPEEDUP = 2.0
+
+#: per-topology keys required inside each requester entry.
+_TOPOLOGY_ENTRY_REQUIRED = ("simulated_seconds", "critical_path_rounds", "hops")
 
 _COMPARISON_REQUIRED = (
     "and_gate_count",
@@ -99,6 +111,58 @@ def _check_comparison(report: dict, problems: list) -> None:
             )
 
 
+def _check_aggregation_topology(report: dict, problems: list) -> None:
+    section = report.get("aggregation_topology")
+    if not isinstance(section, dict) or not section:
+        problems.append("missing or empty 'aggregation_topology' section")
+        return
+    requesters = section.get("requesters")
+    if not isinstance(requesters, dict) or not requesters:
+        problems.append("aggregation_topology lacks a non-empty 'requesters' mapping")
+    else:
+        largest = max(requesters, key=int)
+        for count, entry in requesters.items():
+            prefix = f"aggregation_topology.requesters[{count!r}]"
+            if entry.get("sums_identical") is not True:
+                problems.append(f"{prefix}.sums_identical is not true")
+            for topology in ("chain", "tree:2"):
+                per_topology = entry.get(topology)
+                if not isinstance(per_topology, dict):
+                    problems.append(f"{prefix} lacks the {topology!r} topology entry")
+                    continue
+                for key in _TOPOLOGY_ENTRY_REQUIRED:
+                    if key not in per_topology:
+                        problems.append(f"{prefix}[{topology!r}] lacks {key!r}")
+            speedup = entry.get("tree_vs_chain_speedup")
+            if not isinstance(speedup, (int, float)):
+                problems.append(f"{prefix} lacks a numeric 'tree_vs_chain_speedup'")
+            elif count == largest and speedup < MIN_TREE_SPEEDUP:
+                problems.append(
+                    f"{prefix} tree speedup {speedup!r} is below the documented "
+                    f"{MIN_TREE_SPEEDUP}x floor at the largest requester count"
+                )
+    invariance = section.get("shard_invariance")
+    if not isinstance(invariance, dict) or not invariance:
+        problems.append(
+            "aggregation_topology lacks a non-empty 'shard_invariance' mapping"
+        )
+        return
+    for topology, cert in invariance.items():
+        identical = cert.get("identical")
+        if not isinstance(identical, dict) or not identical:
+            problems.append(
+                f"aggregation_topology.shard_invariance[{topology!r}] lacks "
+                f"the per-worker 'identical' mapping"
+            )
+            continue
+        for workers, ok in identical.items():
+            if ok is not True:
+                problems.append(
+                    f"aggregation_topology.shard_invariance[{topology!r}] is not "
+                    f"identical at workers={workers}"
+                )
+
+
 def validate(path: Path = BENCH_PATH) -> list:
     problems: list = []
     if not path.exists():
@@ -113,6 +177,7 @@ def validate(path: Path = BENCH_PATH) -> list:
     _check_benchmarks(report, problems)
     _check_parallel(report, problems)
     _check_comparison(report, problems)
+    _check_aggregation_topology(report, problems)
     return problems
 
 

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
 """Documentation consistency check (the `make docs-check` target).
 
-Keeps README.md and docs/ARCHITECTURE.md honest as the tree grows:
+Keeps README.md and the ``docs/`` set honest as the tree grows:
 
 * every repo-relative path the docs mention (``src/...``, ``examples/...``,
   ``benchmarks/...``, ``docs/...``, ``scripts/...``, top-level ``*.md`` /
   ``Makefile`` / ``BENCH_crypto.json``) must exist;
+* every markdown link to a relative target (``[text](../README.md)``,
+  ``[text](TOPOLOGIES.md#anchor)``) must resolve to an existing file
+  relative to the linking document — cross-linked docs cannot rot;
 * every ``python <script>`` command in a fenced code block must point at an
   existing script;
 * every documented ``make`` target must exist in the Makefile;
@@ -26,7 +29,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-DOCS = ("README.md", "docs/ARCHITECTURE.md")
+DOCS = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/TOPOLOGIES.md",
+    "docs/BENCHMARKS.md",
+)
 
 #: repo-relative path patterns worth existence-checking when mentioned.
 PATH_PATTERN = re.compile(
@@ -36,6 +44,8 @@ PATH_PATTERN = re.compile(
 COMMAND_PATTERN = re.compile(r"python\s+((?:examples|benchmarks|scripts)/[\w./-]+\.py)")
 MAKE_PATTERN = re.compile(r"make\s+([\w-]+)")
 MODULE_PATTERN = re.compile(r"`(repro(?:\.\w+)+)")
+#: inline markdown links ``[text](target)``; images excluded via (?<!\!).
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 
 
 def check_document(doc: str, problems: list) -> None:
@@ -44,6 +54,18 @@ def check_document(doc: str, problems: list) -> None:
     for path in set(PATH_PATTERN.findall(text)):
         if not (REPO_ROOT / path).exists():
             problems.append(f"{doc}: references missing path {path!r}")
+
+    # Relative markdown links must resolve from the linking document's
+    # directory (anchors stripped; absolute URLs and mailto: skipped).
+    doc_dir = (REPO_ROOT / doc).parent
+    for target in set(LINK_PATTERN.findall(text)):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (doc_dir / relative).exists():
+            problems.append(f"{doc}: broken relative link {target!r}")
 
     for script in set(COMMAND_PATTERN.findall(text)):
         if not (REPO_ROOT / script).exists():

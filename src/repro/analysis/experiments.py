@@ -55,6 +55,10 @@ __all__ = [
     "experiment_table1_bandwidth",
     "ParallelDayObservation",
     "experiment_parallel_day",
+    "TopologyAggregationObservation",
+    "experiment_aggregation_topologies",
+    "TopologyShardInvariance",
+    "experiment_topology_shard_invariance",
     "sample_market_windows",
 ]
 
@@ -324,18 +328,26 @@ def experiment_parallel_day(
     window_count: int = FULL_DAY_WINDOWS,
     seed: int = DEFAULT_SEED,
     background_refill: bool = False,
+    aggregation_topology: str = "chain",
 ) -> ParallelDayObservation:
     """Run the same sampled day serially and sharded; compare and time both.
 
     This is the scaling experiment behind the ``parallel_runner`` section of
     ``BENCH_crypto.json``: it certifies that sharding is result-preserving
     and reports the day-runtime speedup on both clocks.
+    ``aggregation_topology`` selects the encrypted-sum collection shape
+    (the sharding certificate must hold for every topology).
     """
 
     def build_engine() -> PrivateTradingEngine:
         return PrivateTradingEngine(
             params=PAPER_PARAMETERS,
-            config=ProtocolConfig(key_size=crypto_key_size, key_pool_size=4, seed=7),
+            config=ProtocolConfig(
+                key_size=crypto_key_size,
+                key_pool_size=4,
+                seed=7,
+                aggregation_topology=aggregation_topology,
+            ),
             cost_model=CostModel.for_key_size(key_size),
         )
 
@@ -365,6 +377,226 @@ def experiment_parallel_day(
         pool_fallbacks=parallel.stats.pool_fallbacks,
         gc_fallbacks=parallel.stats.gc_fallbacks,
     )
+
+
+@dataclass(frozen=True)
+class TopologyAggregationObservation:
+    """One (requester count, topology) aggregation measurement.
+
+    Attributes:
+        requesters: number of contributors to the encrypted sum.
+        topology: aggregation-topology name (``chain``, ``tree:2``, ...).
+        simulated_seconds: critical-path simulated time of the one
+            aggregation (latency-hiding model: one message time per
+            schedule layer, delivery hop included).
+        critical_path_rounds: the schedule's depth — O(n) for the chain,
+            O(log n) for trees.
+        hops: messages the aggregation sent (topology-invariant: one per
+            contributor, so trees move nothing extra onto the wire).
+        encrypted_sum: the final ciphertext as an integer.  Encryption
+            randomness is seeded and pools are disabled for this
+            experiment, so the value is **bit-identical across
+            topologies** — the identity certificate compares it against
+            the chain's.
+        decrypted_sum: the decrypted aggregate.
+        expected_sum: the plaintext sum of the contributed values.
+        offline_seconds: idle-time precompute the aggregation charged
+            (identically zero here — pools are disabled — and asserted
+            topology-invariant either way).
+    """
+
+    requesters: int
+    topology: str
+    simulated_seconds: float
+    critical_path_rounds: int
+    hops: int
+    encrypted_sum: int
+    decrypted_sum: int
+    expected_sum: int
+    offline_seconds: float
+
+
+def experiment_aggregation_topologies(
+    requester_counts: Sequence[int] = (8, 32, 128),
+    topologies: Sequence[str] = ("chain", "tree:2", "tree:4"),
+    crypto_key_size: int = 128,
+    cost_model_key_size: int = 1024,
+    seed: int = 11,
+) -> List[TopologyAggregationObservation]:
+    """Measure one encrypted-sum aggregation per (requester count, topology).
+
+    This is the experiment behind the ``aggregation_topology`` section of
+    ``BENCH_crypto.json``.  For each requester count a synthetic window is
+    built with ``n`` buyer-requesters aggregating toward one seller, and
+    the *same* aggregation is executed under every topology:
+
+    * encryption randomness comes from the seeded protocol RNG (randomizer
+      pools are disabled), and each contributor encrypts exactly once in
+      contributor order — so the per-contributor ciphertexts, and by
+      commutativity of the Paillier product their aggregate, are
+      **bit-identical across topologies**;
+    * only the simulated communication time differs: the chain pays one
+      message time per contributor, a k-ary tree one per layer
+      (``ceil(log_k n) + 1``), the ~O(n / log n) critical-path win.
+    """
+    from ..core.agent import AgentWindowState
+    from ..core.coalition import form_coalitions
+    from ..core.protocols import ProtocolContext
+    from ..core.protocols.aggregation import aggregate
+    from ..core.protocols.topology import resolve_topology
+    from ..net.message import MessageKind
+    from ..net.network import SimulatedNetwork
+    import random as _random
+
+    observations: List[TopologyAggregationObservation] = []
+    for count in requester_counts:
+        states = [
+            AgentWindowState(
+                agent_id=f"req{i:04d}",
+                window=0,
+                generation_kwh=0.0,
+                load_kwh=0.2 + 0.01 * i,
+                battery_kwh=0.0,
+                battery_loss_coefficient=0.9,
+                preference_k=150.0,
+            )
+            for i in range(count)
+        ] + [
+            AgentWindowState(
+                agent_id="leader",
+                window=0,
+                generation_kwh=1.0,
+                load_kwh=0.0,
+                battery_kwh=0.0,
+                battery_loss_coefficient=0.9,
+                preference_k=150.0,
+            )
+        ]
+        for topology_name in topologies:
+            topology = resolve_topology(topology_name)
+            coalitions = form_coalitions(0, states)
+            network = SimulatedNetwork(
+                cost_model=CostModel.for_key_size(cost_model_key_size)
+            )
+            context = ProtocolContext(
+                coalitions=coalitions,
+                network=network,
+                config=ProtocolConfig(
+                    key_size=crypto_key_size,
+                    key_pool_size=2,
+                    seed=seed,
+                    use_randomizer_pools=False,
+                    use_comparison_pool=False,
+                    aggregation_topology=topology_name,
+                ),
+                params=PAPER_PARAMETERS,
+                rng=_random.Random(seed),
+            )
+            leader = context.sellers[0]
+            requesters = context.buyers
+            values = [7 + 3 * i for i in range(len(requesters))]
+            start_seconds = network.stats.simulated_seconds
+            start_offline = network.stats.offline_seconds
+            outcome = aggregate(
+                context,
+                requesters,
+                values,
+                leader.public_key,
+                MessageKind.MARKET_AGGREGATE,
+                final_recipient=leader,
+                topology=topology,
+            )
+            observations.append(
+                TopologyAggregationObservation(
+                    requesters=count,
+                    topology=topology.name,
+                    simulated_seconds=network.stats.simulated_seconds - start_seconds,
+                    critical_path_rounds=outcome.schedule.critical_path_depth,
+                    hops=outcome.schedule.merge_hop_count + 1,
+                    encrypted_sum=outcome.ciphertext.value,
+                    decrypted_sum=leader.private_key.decrypt(outcome.ciphertext),
+                    expected_sum=sum(values),
+                    offline_seconds=network.stats.offline_seconds - start_offline,
+                )
+            )
+    return observations
+
+
+@dataclass(frozen=True)
+class TopologyShardInvariance:
+    """Sharded-run determinism certificate for one aggregation topology.
+
+    Attributes:
+        topology: aggregation-topology name.
+        windows_executed: market windows in the sampled day.
+        day_simulated_seconds: serial simulated day runtime under the
+            topology (trees beat the chain here as coalitions grow).
+        identical_by_workers: worker count → whether the run reproduced
+            the serial baseline's traces and merged stats bit for bit
+            (``workers=1`` certifies run-to-run determinism of two fresh
+            engines; higher counts certify shard invariance).
+    """
+
+    topology: str
+    windows_executed: int
+    day_simulated_seconds: float
+    identical_by_workers: Dict[int, bool]
+
+
+def experiment_topology_shard_invariance(
+    topologies: Sequence[str] = ("chain", "tree:2"),
+    worker_counts: Sequence[int] = (1, 2, 4),
+    home_count: int = 12,
+    sample_count: int = 4,
+    crypto_key_size: int = 128,
+    key_size: int = 1024,
+    window_count: int = FULL_DAY_WINDOWS,
+    seed: int = DEFAULT_SEED,
+) -> List[TopologyShardInvariance]:
+    """Certify that every topology stays bit-identical under sharding.
+
+    For each topology a sampled day is executed serially (the baseline)
+    and again at each worker count; ``RunReport.identical_to`` — traces,
+    merged stats, both offline clocks, fallback counters and the
+    per-topology hop/round counters — must hold for all of them.  The
+    ``aggregation_topology`` bench section embeds the result so a
+    regression in topology/runtime interplay fails the bench run.
+    """
+
+    def build_engine(topology: str) -> PrivateTradingEngine:
+        return PrivateTradingEngine(
+            params=PAPER_PARAMETERS,
+            config=ProtocolConfig(
+                key_size=crypto_key_size,
+                key_pool_size=4,
+                seed=7,
+                aggregation_topology=topology,
+            ),
+            cost_model=CostModel.for_key_size(key_size),
+        )
+
+    dataset = default_dataset(max(home_count, 300), window_count, seed)
+    windows = sample_market_windows(dataset, home_count, sample_count)
+    results: List[TopologyShardInvariance] = []
+    for topology in topologies:
+        baseline = build_engine(topology).run_windows_report(
+            dataset, windows, home_count=home_count, workers=1
+        )
+        identical: Dict[int, bool] = {}
+        for workers in worker_counts:
+            report = build_engine(topology).run_windows_report(
+                dataset, windows, home_count=home_count, workers=workers
+            )
+            identical[workers] = baseline.identical_to(report)
+        results.append(
+            TopologyShardInvariance(
+                topology=topology,
+                windows_executed=len(baseline.traces),
+                day_simulated_seconds=baseline.serial_simulated_seconds,
+                identical_by_workers=identical,
+            )
+        )
+    return results
 
 
 @dataclass(frozen=True)

@@ -1,24 +1,142 @@
-"""Paillier chain aggregation shared by Protocols 2 and 3.
+"""Paillier encrypted-sum aggregation shared by Protocols 2, 3 and 4.
 
-Both Private Market Evaluation (the blinded demand/supply rounds) and
-Private Pricing (the two seller aggregates) collect an encrypted sum the
-same way: each contributor encrypts its own value under the *leader's*
-public key, multiplies it into the running ciphertext received from its
-predecessor and forwards the product, with the last hop delivering to the
-leader (Protocol 2 lines 2-9, Protocol 3 lines 3-8).  This module holds
-that one chain so the two protocols cannot drift apart in how they charge
-the cost model or warm the leader's randomizer pool.
+Private Market Evaluation (the blinded demand/supply rounds), Private
+Pricing (the two seller aggregates) and Private Distribution (the
+requesters' magnitude aggregate) all collect an encrypted sum the same
+way: each contributor encrypts its own value under one public key and the
+ciphertexts are multiplied together hop by hop until a single party holds
+the product.  This module holds that one aggregation so the protocols
+cannot drift apart in how they charge the cost model, warm the target
+key's randomizer pool, or record the per-topology traffic counters.
+
+The *shape* of the collection is pluggable (:mod:`.topology`): the
+paper's serial chain (Protocol 2 lines 2-9, Protocol 3 lines 3-8) is the
+default, and tree topologies aggregate whole layers concurrently on the
+simulated clock, cutting the critical path from O(n) hops to O(log n)
+layers.  Every topology is *sum-preserving by construction*: each
+contributor encrypts exactly once, in contributor order, and the final
+ciphertext is the product of the same multiset of ciphertexts — so the
+encrypted aggregate (and everything downstream of it) is bit-identical
+across topologies, and only the simulated communication time changes.
+
+The obfuscator-demand warm-up is topology-independent: every contributor
+encrypts under the same (leader's) public key, so the aggregation's exact
+demand — one obfuscator per contributor — is known upfront regardless of
+the shape the ciphertexts travel in.  The leader's pool is topped up once
+(offline) and each contributor's encryption is a single online modular
+multiplication.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ...crypto.paillier import PaillierCiphertext
 from ...net.message import MessageKind
 from .context import AgentRuntime, ProtocolContext
+from .topology import AggregationSchedule, AggregationTopology
 
-__all__ = ["chain_aggregate"]
+__all__ = ["AggregationOutcome", "aggregate", "chain_aggregate"]
+
+
+@dataclass(frozen=True)
+class AggregationOutcome:
+    """What one aggregation produced.
+
+    Attributes:
+        ciphertext: the full encrypted sum (product of every contributor's
+            ciphertext) — bit-identical across topologies.
+        root: the contributor left holding the product (the chain's last
+            member, a tree's root).  Protocol 4 uses it as the broadcast
+            origin when there is no separate final recipient.
+        schedule: the compiled topology schedule that was executed.
+    """
+
+    ciphertext: PaillierCiphertext
+    root: AgentRuntime
+    schedule: AggregationSchedule
+
+
+def aggregate(
+    context: ProtocolContext,
+    contributors: List[AgentRuntime],
+    values: List[int],
+    public_key,
+    kind: MessageKind,
+    final_recipient: Optional[AgentRuntime] = None,
+    topology: Optional[AggregationTopology] = None,
+) -> AggregationOutcome:
+    """Aggregate encrypted values across ``contributors`` along a topology.
+
+    Each contributor encrypts its own value under ``public_key`` (in
+    contributor order — what keeps the pool draws, and therefore the
+    ciphertexts, independent of the topology); the schedule's merge hops
+    then transmit and multiply partial products layer by layer.  When
+    ``final_recipient`` is given, the root forwards the product to it as a
+    last delivery hop; otherwise the root keeps the product (Protocol 4
+    re-broadcasts it itself) and the delivery slot is still charged, since
+    the product must reach its consumer either way.
+
+    Cost accounting (all inside this function, so call sites stay
+    uniform):
+
+    * one (pooled) encryption per contributor, one homomorphic op per
+      merge — identical across topologies;
+    * the critical-path communication is charged through the
+      latency-hiding model: one message time per schedule layer (hops in
+      a layer are concurrent), not per hop;
+    * the per-topology ``aggregation_hops`` / ``aggregation_rounds``
+      counters in :class:`~repro.net.stats.TrafficStats` record the
+      bandwidth/latency split.
+
+    Returns the :class:`AggregationOutcome`; the ciphertext is also what
+    the final recipient received when a delivery hop ran.
+    """
+    if not contributors:
+        raise ValueError("aggregation requires at least one contributor")
+    if len(contributors) != len(values):
+        raise ValueError("one value per contributor required")
+    topology = topology or context.topology
+    schedule = topology.schedule(len(contributors))
+    window = context.coalitions.window
+
+    context.warm_pool(public_key, len(contributors))
+    partial: List[PaillierCiphertext] = [
+        context.encrypt(public_key, value) for value in values
+    ]
+
+    hop_index = 0
+    for layer in schedule.layers:
+        for hop in layer:
+            contributors[hop.sender].party.send(
+                contributors[hop.receiver].agent_id,
+                kind,
+                payload=partial[hop.sender].to_bytes(),
+                metadata={"window": window, "hop": hop_index},
+            )
+            partial[hop.receiver] = partial[hop.receiver].add_ciphertext(
+                partial[hop.sender]
+            )
+            context.charge_homomorphic_ops(1)
+            hop_index += 1
+
+    root = contributors[schedule.root]
+    if final_recipient is not None:
+        root.party.send(
+            final_recipient.agent_id,
+            kind,
+            payload=partial[schedule.root].to_bytes(),
+            metadata={"window": window, "hop": len(contributors) - 1},
+        )
+    context.charge_aggregation(
+        schedule,
+        context.ciphertext_bytes(public_key),
+        delivered=final_recipient is not None,
+    )
+    return AggregationOutcome(
+        ciphertext=partial[schedule.root], root=root, schedule=schedule
+    )
 
 
 def chain_aggregate(
@@ -29,34 +147,14 @@ def chain_aggregate(
     kind: MessageKind,
     final_recipient: AgentRuntime,
 ) -> PaillierCiphertext:
-    """Chain-aggregate encrypted values along a sequence of agents.
+    """Aggregate along the context's configured topology (legacy entry point).
 
-    Each contributor encrypts its own value under ``public_key`` and
-    multiplies it into the running ciphertext received from its predecessor;
-    the last contributor forwards the product to ``final_recipient``.
-    Returns the ciphertext as received by the final recipient.
-
-    Every contributor encrypts under the same (leader's) public key, so the
-    chain's exact obfuscator demand is known upfront: the leader's pool is
-    topped up once (offline) and each hop's encryption is a single online
-    modular multiplication.
+    Kept for call-site compatibility from the chain-only era; despite the
+    name it honours ``ProtocolConfig.aggregation_topology`` like
+    :func:`aggregate` (the chain is simply the default topology).  New code
+    should call :func:`aggregate`, which also exposes the root and the
+    executed schedule.
     """
-    context.warm_pool(public_key, len(contributors))
-    running: Optional[PaillierCiphertext] = None
-    for index, (agent, value) in enumerate(zip(contributors, values)):
-        own = context.encrypt(public_key, value)
-        if running is None:
-            running = own
-        else:
-            running = running.add_ciphertext(own)
-            context.charge_homomorphic_ops(1)
-        is_last = index == len(contributors) - 1
-        next_hop = final_recipient if is_last else contributors[index + 1]
-        agent.party.send(
-            next_hop.agent_id,
-            kind,
-            payload=running.to_bytes(),
-            metadata={"window": context.coalitions.window, "hop": index},
-        )
-    assert running is not None
-    return running
+    return aggregate(
+        context, contributors, values, public_key, kind, final_recipient
+    ).ciphertext

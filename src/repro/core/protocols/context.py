@@ -21,9 +21,11 @@ Offline vs. online accounting
 
 The context is also where the cost model's two clocks are fed:
 
-* ``TrafficStats.simulated_seconds`` — the *online critical path*: chain
-  hops, communication rounds, homomorphic aggregation, the (pooled)
-  garbled comparison, and the single mulmod of each pooled encryption.
+* ``TrafficStats.simulated_seconds`` — the *online critical path*:
+  aggregation layers (serial chain hops, or concurrent tree layers under
+  the latency-hiding model), communication rounds, homomorphic
+  aggregation, the (pooled) garbled comparison, and the single mulmod of
+  each pooled encryption.
 * ``TrafficStats.offline_seconds`` — *idle-time precomputation*: every
   obfuscator produced by :meth:`ProtocolContext.warm_pools` /
   :meth:`ProtocolContext.warm_pool` is charged here via
@@ -75,6 +77,7 @@ from ...net.network import Party, SimulatedNetwork
 from ..agent import AgentWindowState
 from ..coalition import Coalitions
 from ..params import MarketParameters, PAPER_PARAMETERS
+from .topology import AggregationSchedule, AggregationTopology, resolve_topology
 
 __all__ = ["ProtocolConfig", "KeyRing", "AgentRuntime", "ProtocolContext"]
 
@@ -117,6 +120,15 @@ class ProtocolConfig:
         ot_extension_kappa: base OTs per window-scoped OT-extension
             session (the computational security parameter of the IKNP
             extension).
+        aggregation_topology: shape of the encrypted-sum collection used
+            by Protocols 2-4 — ``"chain"`` (the paper's serial chain,
+            O(n) critical-path hops), ``"tree"``/``"tree:2"`` (binary
+            aggregation tree) or ``"tree:<k>"`` (k-ary), whose layers
+            aggregate concurrently on the simulated clock for an
+            O(log n) critical path.  Results are bit-identical across
+            topologies; only simulated communication time and the
+            per-topology hop/round counters change.  See
+            ``docs/TOPOLOGIES.md``.
     """
 
     key_size: int = 512
@@ -130,6 +142,7 @@ class ProtocolConfig:
     use_comparison_pool: bool = True
     comparison_pool_headroom: int = 1
     ot_extension_kappa: int = 128
+    aggregation_topology: str = "chain"
 
 
 def _derived_rng(seed: int, *labels: object) -> random.Random:
@@ -333,6 +346,9 @@ class ProtocolContext:
         self.codec = FixedPointCodec(precision=config.precision)
         self.rng = rng or random.Random((config.seed, coalitions.window).__hash__())
         self.keyring = keyring or KeyRing(config, self.rng)
+        #: the aggregation topology Protocols 2-4 collect encrypted sums
+        #: along (resolved once so a typo fails at context construction).
+        self.topology: AggregationTopology = resolve_topology(config.aggregation_topology)
 
         self.sellers: List[AgentRuntime] = []
         self.buyers: List[AgentRuntime] = []
@@ -554,10 +570,43 @@ class ProtocolContext:
         return result
 
     def charge_chain(self, hop_count: int, bytes_per_hop: int) -> None:
-        """Charge a sequential chain of messages to the critical path."""
+        """Charge a sequential chain of messages to the critical path.
+
+        Legacy hook from the chain-only era; aggregations now charge
+        themselves through :meth:`charge_aggregation`, which applies the
+        latency-hiding model to whatever topology actually ran.
+        """
         if self.cost_model is not None:
             self.network.charge_crypto_time(
                 self.cost_model.chain_cost(hop_count, bytes_per_hop)
+            )
+
+    def charge_aggregation(
+        self,
+        schedule: AggregationSchedule,
+        bytes_per_hop: int,
+        delivered: bool = True,
+    ) -> None:
+        """Charge one executed aggregation schedule to the critical path.
+
+        The latency-hiding model charges one message time per schedule
+        layer (hops within a layer are concurrent) plus the delivery hop —
+        ``schedule.critical_path_depth`` message times in total, which for
+        the chain equals the seed's ``hop_count`` charge bit for bit.
+        Also records the per-topology hop/round counters
+        (:class:`~repro.net.stats.TrafficStats`); ``delivered`` says
+        whether a delivery message was actually sent (Protocol 4's root
+        re-broadcasts instead, charged separately as a round).
+        """
+        hops = schedule.merge_hop_count + (1 if delivered else 0)
+        self.network.record_aggregation(
+            schedule.topology, hops, schedule.critical_path_depth
+        )
+        if self.cost_model is not None:
+            self.network.charge_crypto_time(
+                self.cost_model.layered_aggregation_cost(
+                    schedule.critical_path_depth, bytes_per_hop
+                )
             )
 
     def charge_round(self, bytes_per_message: int) -> None:

@@ -5,8 +5,9 @@ without revealing the market demand/supply totals or any individual net
 energy.  In the general market:
 
 1. a random seller ``H_s`` publishes its Paillier public key; the buyers
-   chain-aggregate ``Enc(|sn_j|)`` and the final aggregated ciphertext
-   (an encryption of ``E_b``) is re-broadcast inside the buyer coalition;
+   aggregate ``Enc(|sn_j|)`` along the configured aggregation topology
+   and the final aggregated ciphertext (an encryption of ``E_b``) is
+   re-broadcast inside the buyer coalition;
 2. each buyer ``H_j`` raises that ciphertext to the integer
    ``round(K / |sn_j|)`` — homomorphically multiplying the hidden ``E_b`` by
    ``K / |sn_j|`` — and sends the result together with the public scale
@@ -25,11 +26,12 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ...crypto.paillier import PaillierCiphertext
 from ...net.message import MessageKind
 from ..market import MarketCase, MarketClearing, Trade
+from .aggregation import aggregate
 from .context import AgentRuntime, ProtocolContext
 
 __all__ = ["DistributionResult", "run_private_distribution"]
@@ -52,43 +54,36 @@ class DistributionResult:
     ratios: Dict[str, float] = field(default_factory=dict)
 
 
-def _coalition_chain_aggregate(
+def _coalition_aggregate(
     context: ProtocolContext,
     members: List[AgentRuntime],
     values: List[int],
     public_key,
 ) -> PaillierCiphertext:
-    """Chain-aggregate encrypted values within one coalition (Lines 3-5).
+    """Aggregate encrypted values within one coalition (Lines 3-5).
 
-    The running ciphertext hops from member to member; the final product is
-    then re-broadcast inside the coalition by the last member so every
-    member holds the aggregate ciphertext.
+    The partial products travel along the configured aggregation topology
+    (the paper's member-to-member chain by default); the final product is
+    then re-broadcast inside the coalition by the topology's root — the
+    chain's last member, a tree's root — so every member holds the
+    aggregate ciphertext.  There is no separate final recipient: the
+    re-broadcast is the delivery, charged as one round by the caller.
     """
-    context.warm_pool(public_key, len(members))
-    running: Optional[PaillierCiphertext] = None
-    for index, (agent, value) in enumerate(zip(members, values)):
-        own = context.encrypt(public_key, value)
-        if running is None:
-            running = own
-        else:
-            running = running.add_ciphertext(own)
-            context.charge_homomorphic_ops(1)
-        if index < len(members) - 1:
-            agent.party.send(
-                members[index + 1].agent_id,
-                MessageKind.DEMAND_AGGREGATE,
-                payload=running.to_bytes(),
-                metadata={"window": context.coalitions.window, "hop": index},
-            )
-    assert running is not None
-    last = members[-1]
-    last.party.broadcast(
+    outcome = aggregate(
+        context,
+        members,
+        values,
+        public_key,
+        MessageKind.DEMAND_AGGREGATE,
+        final_recipient=None,
+    )
+    outcome.root.party.broadcast(
         [m.agent_id for m in members],
         MessageKind.DEMAND_AGGREGATE,
-        payload=running.to_bytes(),
+        payload=outcome.ciphertext.to_bytes(),
         metadata={"window": context.coalitions.window, "final": True},
     )
-    return running
+    return outcome.ciphertext
 
 
 def _run_ratio_phase(
@@ -109,9 +104,9 @@ def _run_ratio_phase(
     # Aggregate the requesters' |net energy| under the holder's public key.
     magnitudes = [abs(r.state.net_energy_kwh) for r in requesters]
     encoded = [max(1, codec.encode(m)) for m in magnitudes]
-    aggregate = _coalition_chain_aggregate(context, requesters, encoded, ratio_holder.public_key)
-    # The chain itself is sequential; the final re-broadcast is one round.
-    context.charge_chain(len(requesters), ciphertext_bytes)
+    aggregated = _coalition_aggregate(context, requesters, encoded, ratio_holder.public_key)
+    # The aggregation charges its own critical path (topology layers plus
+    # the delivery slot); the final re-broadcast is one round on top.
     context.charge_round(ciphertext_bytes)
 
     # Each requester homomorphically multiplies the hidden total by the
@@ -120,7 +115,7 @@ def _run_ratio_phase(
     ratios: Dict[str, float] = {}
     for requester, own_encoded in zip(requesters, encoded):
         multiplier = max(1, round(scale / own_encoded))
-        scaled = aggregate.multiply_plaintext(multiplier)
+        scaled = aggregated.multiply_plaintext(multiplier)
         context.charge_homomorphic_ops(1)
         requester.party.send(
             ratio_holder.agent_id,

@@ -23,9 +23,11 @@ Runtime accounting
 Each trace reports two separate simulated clocks (see
 :mod:`repro.net.costmodel`):
 
-* ``simulated_runtime_seconds`` — the *online critical path*: message
-  chains/rounds, homomorphic aggregation, the garbled comparison, and one
-  modular multiplication per pooled encryption;
+* ``simulated_runtime_seconds`` — the *online critical path*: aggregation
+  layers (serial chain hops or concurrent tree layers, per
+  ``ProtocolConfig.aggregation_topology``), communication rounds,
+  homomorphic aggregation, the garbled comparison, and one modular
+  multiplication per pooled encryption;
 * ``offline_seconds`` — idle-time randomizer-pool precomputation, which the
   paper pipelines off the critical path ("encryption and decryption are
   independently executed in parallel during idle time").

@@ -5,10 +5,11 @@ Decides whether the current trading window is a *general* market
 let alone any individual net energy:
 
 1. a randomly chosen seller ``H_r1`` publishes its Paillier public key; the
-   buyers chain-aggregate ``Enc(|sn_j| + r_j)`` (each buyer adds a random
-   nonce ``r_j``), the remaining sellers fold in encryptions of their own
-   nonces ``r_i``, and ``H_r1`` decrypts the blinded demand aggregate
-   ``R_b = Σ(|sn_j| + r_j) + Σ r_i``;
+   buyers aggregate ``Enc(|sn_j| + r_j)`` (each buyer adds a random nonce
+   ``r_j``) along the configured aggregation topology — the paper's serial
+   chain by default, a latency-hiding tree otherwise — the remaining
+   sellers fold in encryptions of their own nonces ``r_i``, and ``H_r1``
+   decrypts the blinded demand aggregate ``R_b = Σ(|sn_j| + r_j) + Σ r_i``;
 2. symmetrically, a randomly chosen buyer ``H_r2`` ends up with the blinded
    supply aggregate ``R_s = Σ(sn_i + r_i) + Σ r_j``;
 3. because the *same* nonce sum blinds both aggregates,
@@ -22,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...net.message import MessageKind
-from .aggregation import chain_aggregate
+from .aggregation import aggregate
 from .context import ProtocolContext
 
 __all__ = ["MarketEvaluationResult", "run_market_evaluation"]
@@ -70,15 +71,14 @@ def run_market_evaluation(context: ProtocolContext) -> MarketEvaluationResult:
 
     contributors = context.buyers + other_sellers
     values = buyer_values + seller_nonces
-    ciphertext = chain_aggregate(
+    ciphertext = aggregate(
         context,
         contributors,
         values,
         leader_seller.public_key,
         MessageKind.MARKET_AGGREGATE,
         leader_seller,
-    )
-    context.charge_chain(len(contributors), context.ciphertext_bytes(leader_seller.public_key))
+    ).ciphertext
     blinded_demand = leader_seller.private_key.decrypt(ciphertext)
     context.charge_decryptions(1)
 
@@ -93,15 +93,14 @@ def run_market_evaluation(context: ProtocolContext) -> MarketEvaluationResult:
 
     contributors = context.sellers + other_buyers
     values = seller_values + buyer_nonces
-    ciphertext = chain_aggregate(
+    ciphertext = aggregate(
         context,
         contributors,
         values,
         leader_buyer.public_key,
         MessageKind.MARKET_AGGREGATE,
         leader_buyer,
-    )
-    context.charge_chain(len(contributors), context.ciphertext_bytes(leader_buyer.public_key))
+    ).ciphertext
     blinded_supply = leader_buyer.private_key.decrypt(ciphertext)
     context.charge_decryptions(1)
 

@@ -8,7 +8,8 @@ depends on two seller-coalition aggregates:
   computed pricing terms.
 
 A randomly chosen buyer ``H_b`` collects both sums through Paillier
-chain-aggregation under its own public key, computes
+aggregation under its own public key (along the configured aggregation
+topology — the paper's chain by default), computes
 ``p̂ = sqrt(ps_g · Σk / Σterm)``, clamps it into the PEM band and broadcasts
 the resulting ``p*``.  ``H_b`` learns only the two aggregates (Lemma 3);
 the sellers learn nothing beyond the public price.
@@ -22,7 +23,7 @@ from typing import List
 
 from ...crypto.paillier import PaillierCiphertext
 from ...net.message import MessageKind
-from .aggregation import chain_aggregate
+from .aggregation import aggregate
 from .context import AgentRuntime, ProtocolContext
 
 __all__ = ["PricingResult", "run_private_pricing"]
@@ -47,21 +48,22 @@ class PricingResult:
     denominator_sum: float
 
 
-def _seller_chain_aggregate(
+def _seller_aggregate(
     context: ProtocolContext,
     values: List[int],
     leader: AgentRuntime,
     kind: MessageKind,
 ) -> PaillierCiphertext:
-    """Chain-aggregate one encrypted value per seller toward the leader buyer.
+    """Aggregate one encrypted value per seller toward the leader buyer.
 
-    Thin wrapper over the shared :func:`chain_aggregate` (identical wire
+    Thin wrapper over the shared :func:`aggregate` (identical wire
     behavior to Protocol 2's rounds: same hop metadata, same cost charging,
-    same exact-count pool warm-up for the leader's key).
+    same exact-count pool warm-up for the leader's key, same configured
+    aggregation topology).
     """
-    return chain_aggregate(
+    return aggregate(
         context, context.sellers, values, leader.public_key, kind, leader
-    )
+    ).ciphertext
 
 
 def run_private_pricing(context: ProtocolContext) -> PricingResult:
@@ -77,10 +79,9 @@ def run_private_pricing(context: ProtocolContext) -> PricingResult:
 
     # ---- First aggregation: Σ k_i. ----
     k_values = [codec.encode(s.state.preference_k) for s in context.sellers]
-    k_ciphertext = _seller_chain_aggregate(
+    k_ciphertext = _seller_aggregate(
         context, k_values, leader, MessageKind.PRICING_AGGREGATE
     )
-    context.charge_chain(len(context.sellers), context.ciphertext_bytes(leader.public_key))
     preference_sum = codec.decode(leader.private_key.decrypt(k_ciphertext))
     context.charge_decryptions(1)
 
@@ -88,10 +89,9 @@ def run_private_pricing(context: ProtocolContext) -> PricingResult:
     term_values = [
         codec.encode(s.state.pricing_denominator_term()) for s in context.sellers
     ]
-    term_ciphertext = _seller_chain_aggregate(
+    term_ciphertext = _seller_aggregate(
         context, term_values, leader, MessageKind.PRICING_AGGREGATE
     )
-    context.charge_chain(len(context.sellers), context.ciphertext_bytes(leader.public_key))
     denominator_sum = codec.decode(leader.private_key.decrypt(term_ciphertext))
     context.charge_decryptions(1)
 

@@ -26,6 +26,15 @@ the *online* cost of a pooled encryption collapses to a single modular
 multiplication (:meth:`CostModel.encryption_cost` with ``pooled=True``).
 Decryption costs assume the CRT fast path by default
 (``crt_decrypt_speedup``).
+
+Communication is charged with a *latency-hiding* model: hops that are
+independent of each other (one layer of an aggregation-topology schedule,
+a broadcast, the pairwise routing round) cost the ``max`` over the layer's
+hops — one message time — while layers themselves are sequential
+(:meth:`CostModel.layered_aggregation_cost` / :meth:`CostModel.layered_cost`).
+The serial chain is the degenerate one-hop-per-layer case; tree topologies
+(:mod:`repro.core.protocols.topology`) cut the aggregation critical path
+from O(n) to O(log n) layers without changing a byte on the wire.
 """
 
 from __future__ import annotations
@@ -219,11 +228,43 @@ class CostModel:
     def chain_cost(self, hop_count: int, bytes_per_hop: int) -> float:
         """Critical-path cost of a sequential chain of ``hop_count`` messages.
 
-        Chain aggregation (Protocols 2-4) is inherently sequential: each
-        agent must receive the running ciphertext before it can fold in its
-        own contribution and forward it.
+        The serial chain topology is inherently sequential: each agent must
+        receive the running ciphertext before it can fold in its own
+        contribution and forward it.  Equivalent to
+        :meth:`layered_aggregation_cost` with one hop per layer.
         """
         return hop_count * self.network.message_seconds(bytes_per_hop)
+
+    def layered_aggregation_cost(self, depth: int, bytes_per_hop: int) -> float:
+        """Critical-path cost of a layered (latency-hiding) aggregation.
+
+        All hops within one layer of an aggregation schedule are
+        independent and proceed concurrently, so a layer is charged the
+        ``max`` over its hops — one message time when hops carry equally
+        sized ciphertexts — rather than their sum.  ``depth`` is the
+        schedule's critical-path depth (merge layers plus the delivery
+        hop); a chain of ``n`` contributors has depth ``n`` and this
+        degenerates to :meth:`chain_cost`, a k-ary tree has depth
+        ``ceil(log_k n) + 1`` — the O(n / log n) online win the tree
+        topologies exist for.
+        """
+        return depth * self.network.message_seconds(bytes_per_hop)
+
+    def layered_cost(self, layer_hop_bytes) -> float:
+        """General latency-hiding cost: ``sum over layers of max over hops``.
+
+        ``layer_hop_bytes`` is an iterable of layers, each an iterable of
+        per-hop byte sizes.  Layers execute sequentially; hops within a
+        layer concurrently, so each layer costs its slowest hop.  Used when
+        hop sizes differ; the uniform-ciphertext case is the cheaper
+        :meth:`layered_aggregation_cost`.
+        """
+        total = 0.0
+        for layer in layer_hop_bytes:
+            sizes = list(layer)
+            if sizes:
+                total += max(self.network.message_seconds(size) for size in sizes)
+        return total
 
     def round_cost(self, bytes_per_message: int) -> float:
         """Critical-path cost of one *parallel* communication round.

@@ -212,6 +212,19 @@ class SimulatedNetwork:
         if count > 0:
             self.stats.record_gc_fallback(count)
 
+    def record_aggregation(self, topology: str, hops: int, rounds: int) -> None:
+        """Record one aggregation's per-topology hop/round counters.
+
+        ``hops`` counts the messages the aggregation actually sent (the
+        bandwidth side — identical across topologies by construction);
+        ``rounds`` its critical-path depth (the latency side — what the
+        latency-hiding cost model charges, O(n) for the chain, O(log n)
+        for trees).  Counters are kept per topology name so traces show
+        which shapes a run used and benchmarks can assert the split.
+        """
+        if hops or rounds:
+            self.stats.record_aggregation(topology, hops, rounds)
+
     def record_pool_fallback(self, count: int = 1) -> None:
         """Record encryptions whose randomizer pool was drained.
 

@@ -64,6 +64,18 @@ class TrafficStats:
     #: ran the classic Yao protocol (garbling + public-key OTs) on the
     #: online clock instead of evaluating a prepared instance.
     gc_fallbacks: int = 0
+    #: aggregation messages sent, keyed by topology name ("chain",
+    #: "tree:2", ...).  This is the *bandwidth-side* counter: every
+    #: topology sends exactly one ciphertext per contributor, so equal hop
+    #: counts across topologies certify that tree-ification moved nothing
+    #: onto the wire.
+    aggregation_hops: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: aggregation critical-path rounds (schedule layers + the delivery
+    #: hop), keyed by topology name.  This is the *latency-side* counter —
+    #: the quantity the latency-hiding cost model multiplies by one
+    #: message time.  ``hops`` vs. ``rounds`` mirrors the offline/online
+    #: split: total work vs. critical path.
+    aggregation_rounds: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def record_send(self, sender: str, recipient: str, size: int, kind: str = "other") -> None:
         """Record one unicast message of ``size`` bytes."""
@@ -108,6 +120,11 @@ class TrafficStats:
         """Count comparisons that ran the classic Yao protocol online."""
         self.gc_fallbacks += count
 
+    def record_aggregation(self, topology: str, hops: int, rounds: int) -> None:
+        """Record one aggregation's message count and critical-path depth."""
+        self.aggregation_hops[topology] += hops
+        self.aggregation_rounds[topology] += rounds
+
     def merge(self, other: "TrafficStats") -> None:
         """Merge another stats object into this one (e.g. per-window totals)."""
         for party, traffic in other.per_party.items():
@@ -121,6 +138,10 @@ class TrafficStats:
         self.gc_offline_seconds += other.gc_offline_seconds
         self.pool_fallbacks += other.pool_fallbacks
         self.gc_fallbacks += other.gc_fallbacks
+        for topology, hops in other.aggregation_hops.items():
+            self.aggregation_hops[topology] += hops
+        for topology, rounds in other.aggregation_rounds.items():
+            self.aggregation_rounds[topology] += rounds
 
     def average_bytes_per_party(self, parties: Iterable[str] | None = None) -> float:
         """Average total traffic (sent + received) across parties, in bytes.

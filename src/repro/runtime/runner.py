@@ -209,6 +209,8 @@ class RunReport:
             and s.gc_offline_seconds == o.gc_offline_seconds
             and s.pool_fallbacks == o.pool_fallbacks
             and s.gc_fallbacks == o.gc_fallbacks
+            and dict(s.aggregation_hops) == dict(o.aggregation_hops)
+            and dict(s.aggregation_rounds) == dict(o.aggregation_rounds)
         )
 
     # -- simulated-clock aggregates (the paper's runtime metric) ---------------

@@ -29,6 +29,36 @@ def test_chain_cost_linear_in_hops():
     assert hundred == pytest.approx(one * 100)
 
 
+def test_layered_aggregation_cost_degenerates_to_chain_cost():
+    # The serial chain is the one-hop-per-layer case: charging n layers
+    # must be bit-identical to the pre-topology chain charge.
+    model = CostModel.for_key_size(512)
+    for hops in (1, 7, 128):
+        assert model.layered_aggregation_cost(hops, 128) == model.chain_cost(hops, 128)
+
+
+def test_layered_aggregation_cost_scales_with_depth_not_hops():
+    # A binary tree over 128 contributors has depth 8 (7 layers + delivery)
+    # even though it sends 128 messages — the latency-hiding win.
+    model = CostModel.for_key_size(512)
+    tree = model.layered_aggregation_cost(8, 256)
+    chain = model.layered_aggregation_cost(128, 256)
+    assert chain == pytest.approx(tree * 16)
+
+
+def test_layered_cost_charges_max_per_layer():
+    model = CostModel.for_key_size(512)
+    # Two layers: the first's slowest hop dominates it, hop count doesn't.
+    layered = model.layered_cost([[100, 5000, 100], [200]])
+    expected = model.network.message_seconds(5000) + model.network.message_seconds(200)
+    assert layered == pytest.approx(expected)
+    # Uniform hop sizes reduce to depth * message time.
+    assert model.layered_cost([[64, 64], [64]]) == pytest.approx(
+        model.layered_aggregation_cost(2, 64)
+    )
+    assert model.layered_cost([]) == 0.0
+
+
 def test_round_cost_independent_of_pair_count():
     model = CostModel.for_key_size(512)
     assert model.round_cost(128) == model.network.message_seconds(128)
