@@ -14,9 +14,12 @@
 #                      schema
 #   make ci          - the full gate: test-fast, then docs-check, then a
 #                      smoke bench run written to a scratch file (so the
-#                      committed BENCH_crypto.json is left untouched);
-#                      the bench exits non-zero on any identity or
-#                      determinism regression
+#                      committed BENCH_crypto.json is left untouched),
+#                      then a tiny day-scoped trading day executed over
+#                      SocketTransport (messages + shard fan-out on real
+#                      loopback TCP); the bench and the socket day both
+#                      exit non-zero on any identity or determinism
+#                      regression
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -39,3 +42,5 @@ docs-check:
 ci: test-fast docs-check
 	$(PYTHON) benchmarks/run_crypto_bench.py --scale smoke --workers 2 \
 		--output $(or $(CI_BENCH_OUTPUT),/tmp/BENCH_crypto.ci.json)
+	$(PYTHON) examples/parallel_private_day.py --homes 8 --windows 2 --workers 2 \
+		--session-scope day --transport socket

@@ -25,7 +25,15 @@ pre-acceleration baseline so the perf trajectory is tracked PR over PR:
   requesters under the latency-hiding cost model, an identity certificate
   (every topology must produce the bit-identical encrypted sum the serial
   chain produces; the script exits non-zero otherwise), and a sharding
-  certificate (chain and tree days stay bit-identical at workers 1/2/4).
+  certificate (chain and tree days stay bit-identical at workers 1/2/4),
+* ``session_reuse``: the same sampled day with window-scoped vs.
+  day-scoped protocol sessions — the simulated-day speedup of amortizing
+  the fixed 0.5 s setup and the base-OT session across the day, with
+  three certificates (the script exits non-zero if any fails): the two
+  scopes must be economically identical, the day-scoped run must stay
+  bit-identical under sharding at workers 1/2/4 (sessions established
+  exactly once per pair per day), and a day run over ``SocketTransport``
+  (real loopback TCP) must be bit-identical to ``LocalTransport``.
 
 Usage::
 
@@ -82,6 +90,18 @@ TOPOLOGY_REQUESTER_COUNTS = (8, 32, 128)
 TOPOLOGY_NAMES = ("chain", "tree:2", "tree:4")
 #: worker counts of the per-topology sharding certificate.
 TOPOLOGY_WORKER_COUNTS = (1, 2, 4)
+
+#: (home_count, sampled windows) per scale for the session-reuse day; the
+#: speedup is *largest* at small samples (the fixed setup dominates), so
+#: small scales still demonstrate the effect.
+SESSION_SCALES = {
+    "smoke": (10, 4),
+    "quick": (12, 6),
+    "default": (12, 6),
+    "full": (16, 10),
+}
+#: worker counts of the day-scope sharding certificate.
+SESSION_WORKER_COUNTS = (1, 2, 4)
 
 
 def run_benchmarks(scale: str, json_path: Path) -> None:
@@ -263,6 +283,37 @@ def run_topology_section() -> dict:
     return {"requesters": requesters_section, "shard_invariance": shard_section}
 
 
+def run_session_section(scale: str) -> dict:
+    """Build the ``session_reuse`` report section."""
+    from repro.analysis.experiments import experiment_session_reuse
+
+    home_count, sample_count = SESSION_SCALES[scale]
+    obs = experiment_session_reuse(
+        home_count=home_count,
+        sample_count=sample_count,
+        worker_counts=SESSION_WORKER_COUNTS,
+    )
+    return {
+        "home_count": obs.home_count,
+        "windows_executed": obs.windows_executed,
+        "simulated_day_seconds_window_scope": round(obs.window_scope_day_seconds, 6),
+        "simulated_day_seconds_day_scope": round(obs.day_scope_day_seconds, 6),
+        "session_reuse_speedup": round(obs.session_reuse_speedup, 2),
+        "gc_offline_seconds_window_scope": round(
+            obs.window_scope_gc_offline_seconds, 6
+        ),
+        "gc_offline_seconds_day_scope": round(obs.day_scope_gc_offline_seconds, 6),
+        "economics_identical": obs.economics_identical,
+        "sessions_established": obs.sessions_established,
+        "sessions_reused": obs.sessions_reused,
+        "shard_invariance": {
+            str(workers): ok
+            for workers, ok in obs.day_scope_identical_by_workers.items()
+        },
+        "socket_transport_identical": obs.socket_transport_identical,
+    }
+
+
 def run_parallel_day(scale: str, workers: int, background_refill: bool) -> dict:
     """Execute the sharded-day experiment and distill it for the report."""
     from repro.analysis.experiments import experiment_parallel_day
@@ -336,6 +387,8 @@ def main() -> int:
     report["comparison"] = run_comparison_section(report["benchmarks"])
     print("running the aggregation-topology sweep + identity/sharding certificates ...")
     report["aggregation_topology"] = run_topology_section()
+    print("running the session-reuse day (window vs. day scope, socket transport) ...")
+    report["session_reuse"] = run_session_section(args.scale)
     if not args.skip_parallel:
         print(f"running the sharded-day experiment ({args.workers} workers) ...")
         report["parallel_runner"] = run_parallel_day(
@@ -396,6 +449,35 @@ def main() -> int:
                 file=sys.stderr,
             )
             failed = True
+    session = report["session_reuse"]
+    print(
+        f"  session_reuse[{session['windows_executed']} windows]: "
+        f"{session['session_reuse_speedup']}x simulated day speedup (day vs. window "
+        f"scope), sessions established/reused = {session['sessions_established']}/"
+        f"{session['sessions_reused']}, socket_identical="
+        f"{session['socket_transport_identical']}"
+    )
+    if not session["economics_identical"]:
+        print(
+            "ERROR: day-scoped sessions changed the economic results vs. window "
+            "scope — correctness regression",
+            file=sys.stderr,
+        )
+        failed = True
+    if not all(session["shard_invariance"].values()):
+        print(
+            f"ERROR: day-scoped day diverged under sharding "
+            f"({session['shard_invariance']}) — determinism regression",
+            file=sys.stderr,
+        )
+        failed = True
+    if not session["socket_transport_identical"]:
+        print(
+            "ERROR: SocketTransport day diverged from LocalTransport — "
+            "transport regression",
+            file=sys.stderr,
+        )
+        failed = True
     parallel = report.get("parallel_runner")
     if parallel:
         print(

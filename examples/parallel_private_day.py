@@ -9,9 +9,17 @@ prints the day-runtime speedup on both clocks (the simulated cost-model
 clock is the paper's Fig. 5 metric; host wall-clock is bounded by the
 machine's real core count).
 
+The deployment knobs of the Session API ride along: ``--session-scope day``
+establishes the protocol sessions once per day (amortizing the fixed 0.5 s
+setup and the base-OT session across windows), and ``--transport socket``
+routes every protocol message over real loopback TCP *and* fans the shards
+out to the workers over sockets — both bit-identical to the defaults.
+
 Run with:  python examples/parallel_private_day.py [--homes N] [--windows K]
                                                    [--workers W]
                                                    [--strategy stride|contiguous]
+                                                   [--session-scope window|day]
+                                                   [--transport local|socket]
                                                    [--background-refill]
 """
 
@@ -25,10 +33,16 @@ from repro.data import TraceConfig, generate_dataset
 from repro.runtime import ExecutionPlan
 
 
-def build_engine() -> PrivateTradingEngine:
+def build_engine(session_scope: str = "window", transport: str = "local") -> PrivateTradingEngine:
     return PrivateTradingEngine(
         params=PAPER_PARAMETERS,
-        config=ProtocolConfig(key_size=128, key_pool_size=4, seed=7),
+        config=ProtocolConfig(
+            key_size=128,
+            key_pool_size=4,
+            seed=7,
+            session_scope=session_scope,
+            transport=transport,
+        ),
     )
 
 
@@ -40,6 +54,14 @@ def main() -> None:
     parser.add_argument(
         "--strategy", choices=("stride", "contiguous"), default="stride",
         help="window sharding strategy",
+    )
+    parser.add_argument(
+        "--session-scope", choices=("window", "day"), default="window",
+        help="protocol session lifetime (day amortizes the fixed setup)",
+    )
+    parser.add_argument(
+        "--transport", choices=("local", "socket"), default="local",
+        help="message fabric + shard fan-out (socket = real loopback TCP)",
     )
     parser.add_argument(
         "--background-refill", action="store_true",
@@ -55,10 +77,12 @@ def main() -> None:
     plan = ExecutionPlan.for_windows(windows, args.workers, strategy=args.strategy)
     print(f"Execution plan: {plan.describe()}")
 
-    print("Serial run ...")
-    serial = build_engine().run_windows_report(dataset, windows, workers=1)
+    print(f"Serial run (sessions: {args.session_scope}, transport: {args.transport}) ...")
+    serial = build_engine(args.session_scope, args.transport).run_windows_report(
+        dataset, windows, workers=1
+    )
     print(f"Sharded run ({plan.workers} workers) ...")
-    parallel = build_engine().run_windows_report(
+    parallel = build_engine(args.session_scope, args.transport).run_windows_report(
         dataset,
         windows,
         workers=args.workers,
@@ -72,6 +96,8 @@ def main() -> None:
     print("=== Sharded vs. serial ===")
     print(f"windows executed                  : {len(parallel.traces)}")
     print(f"results bit-identical             : {identical}")
+    print(f"sessions established / reused     : {parallel.stats.sessions_established}"
+          f" / {parallel.stats.sessions_reused}")
     print(f"pool fallbacks (drained warm-ups) : {parallel.stats.pool_fallbacks}")
     print(f"simulated day runtime, serial     : {parallel.serial_simulated_seconds:.2f} s")
     print(f"simulated day runtime, sharded    : {parallel.parallel_simulated_seconds:.2f} s")

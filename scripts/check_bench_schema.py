@@ -17,7 +17,13 @@ a regenerated file honest:
   subsystem) must exist, certify ``sums_identical`` per requester count
   and shard invariance per topology at workers 1/2/4, and show the
   binary tree beating the chain by at least 2x at the largest requester
-  count (the measured value is ~10x at n=128).
+  count (the measured value is ~10x at n=128);
+* the ``session_reuse`` section (added with the persistent Session API)
+  must exist, certify ``economics_identical`` between window and day
+  scope, day-scope shard invariance at workers 1/2/4,
+  ``socket_transport_identical`` (the SocketTransport day run must be
+  bit-identical to LocalTransport), and show a day-scope simulated-day
+  speedup of at least 2x (the measured value is ~4x at 6 windows).
 
 Exits non-zero with a list of problems, so it can gate CI.
 """
@@ -53,6 +59,26 @@ MIN_TREE_SPEEDUP = 2.0
 
 #: per-topology keys required inside each requester entry.
 _TOPOLOGY_ENTRY_REQUIRED = ("simulated_seconds", "critical_path_rounds", "hops")
+
+#: Minimum day-scope-vs-window-scope simulated day speedup the session
+#: amortization must show (conservative floor; the fixed setup dominates
+#: small days, so the measured value is well above this).
+MIN_SESSION_SPEEDUP = 2.0
+
+_SESSION_REQUIRED = (
+    "home_count",
+    "windows_executed",
+    "simulated_day_seconds_window_scope",
+    "simulated_day_seconds_day_scope",
+    "session_reuse_speedup",
+    "gc_offline_seconds_window_scope",
+    "gc_offline_seconds_day_scope",
+    "economics_identical",
+    "sessions_established",
+    "sessions_reused",
+    "shard_invariance",
+    "socket_transport_identical",
+)
 
 _COMPARISON_REQUIRED = (
     "and_gate_count",
@@ -163,6 +189,35 @@ def _check_aggregation_topology(report: dict, problems: list) -> None:
                 )
 
 
+def _check_session_reuse(report: dict, problems: list) -> None:
+    section = report.get("session_reuse")
+    if not isinstance(section, dict) or not section:
+        problems.append("missing or empty 'session_reuse' section")
+        return
+    for key in _SESSION_REQUIRED:
+        if key not in section:
+            problems.append(f"session_reuse lacks {key!r}")
+    if section.get("economics_identical") is not True:
+        problems.append("session_reuse.economics_identical is not true")
+    if section.get("socket_transport_identical") is not True:
+        problems.append("session_reuse.socket_transport_identical is not true")
+    speedup = section.get("session_reuse_speedup", 0.0)
+    if not isinstance(speedup, (int, float)) or speedup < MIN_SESSION_SPEEDUP:
+        problems.append(
+            f"session_reuse speedup {speedup!r} is below the documented "
+            f"{MIN_SESSION_SPEEDUP}x floor"
+        )
+    invariance = section.get("shard_invariance")
+    if not isinstance(invariance, dict) or not invariance:
+        problems.append("session_reuse lacks a non-empty 'shard_invariance' mapping")
+        return
+    for workers, ok in invariance.items():
+        if ok is not True:
+            problems.append(
+                f"session_reuse is not shard-invariant at workers={workers}"
+            )
+
+
 def validate(path: Path = BENCH_PATH) -> list:
     problems: list = []
     if not path.exists():
@@ -178,6 +233,7 @@ def validate(path: Path = BENCH_PATH) -> list:
     _check_parallel(report, problems)
     _check_comparison(report, problems)
     _check_aggregation_topology(report, problems)
+    _check_session_reuse(report, problems)
     return problems
 
 

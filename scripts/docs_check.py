@@ -33,6 +33,7 @@ DOCS = (
     "README.md",
     "docs/ARCHITECTURE.md",
     "docs/TOPOLOGIES.md",
+    "docs/SESSIONS.md",
     "docs/BENCHMARKS.md",
 )
 

@@ -59,6 +59,8 @@ __all__ = [
     "experiment_aggregation_topologies",
     "TopologyShardInvariance",
     "experiment_topology_shard_invariance",
+    "SessionReuseObservation",
+    "experiment_session_reuse",
     "sample_market_windows",
 ]
 
@@ -597,6 +599,141 @@ def experiment_topology_shard_invariance(
             )
         )
     return results
+
+
+@dataclass(frozen=True)
+class SessionReuseObservation:
+    """Window-scoped vs. day-scoped sessions over the same sampled day.
+
+    This is the experiment behind the ``session_reuse`` section of
+    ``BENCH_crypto.json``.  The same sampled trading day is executed under
+    ``session_scope="window"`` (the seed behavior: every market window
+    re-pays the fixed 0.5 s coordination setup and a fresh base-OT
+    session) and ``session_scope="day"`` (both paid once, at the day's
+    anchor window), and three certificates ride along with the speedup:
+
+    * **economics** — the two scopes must produce economically identical
+      ``WindowResult``s (session amortization moves clock charges, never
+      trades);
+    * **sharding** — the day-scoped run must stay bit-identical
+      (``RunReport.identical_to``) across worker counts, with sessions
+      established exactly once per pair per day no matter how windows are
+      sharded;
+    * **transport** — a day-scoped run over :class:`SocketTransport`
+      (messages crossing real loopback TCP, shards fanned out over
+      sockets) must be bit-identical to the :class:`LocalTransport` run.
+
+    Attributes:
+        home_count: number of agents.
+        windows_executed: market windows in the sampled day.
+        window_scope_day_seconds: simulated serial day runtime (online
+            critical path) paying the session costs every window.
+        day_scope_day_seconds: the same day with day-scoped sessions.
+        session_reuse_speedup: ratio of the two — the amortization win,
+            largest at small window counts where the fixed setup
+            dominates.
+        window_scope_gc_offline_seconds / day_scope_gc_offline_seconds:
+            the offline clock's base-OT side of the same amortization.
+        economics_identical: economic-identity certificate.
+        sessions_established / sessions_reused: the day-scoped run's
+            merged session counters (establishments must equal the number
+            of distinct session pairs — once per pair per day).
+        day_scope_identical_by_workers: worker count → sharding
+            certificate for the day-scoped run.
+        socket_transport_identical: transport certificate.
+    """
+
+    home_count: int
+    windows_executed: int
+    window_scope_day_seconds: float
+    day_scope_day_seconds: float
+    session_reuse_speedup: float
+    window_scope_gc_offline_seconds: float
+    day_scope_gc_offline_seconds: float
+    economics_identical: bool
+    sessions_established: int
+    sessions_reused: int
+    day_scope_identical_by_workers: Dict[int, bool]
+    socket_transport_identical: bool
+
+
+def experiment_session_reuse(
+    home_count: int = 12,
+    sample_count: int = 6,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    crypto_key_size: int = 128,
+    key_size: int = 1024,
+    window_count: int = FULL_DAY_WINDOWS,
+    seed: int = DEFAULT_SEED,
+) -> SessionReuseObservation:
+    """Measure the day-scoped session amortization and its certificates.
+
+    Every trading window of the seed implementation paid the fixed
+    session setup (``CostModel.per_window_setup_seconds``) plus a fresh
+    OT-extension base-OT session.  With ``session_scope="day"`` both are
+    paid once at the day's anchor window; at small window sizes this
+    dominates the online critical path, so the simulated-day speedup is
+    multi-x.  See ``docs/SESSIONS.md``.
+    """
+
+    def build_engine(scope: str, transport: str = "local") -> PrivateTradingEngine:
+        return PrivateTradingEngine(
+            params=PAPER_PARAMETERS,
+            config=ProtocolConfig(
+                key_size=crypto_key_size,
+                key_pool_size=4,
+                seed=7,
+                session_scope=scope,
+                transport=transport,
+            ),
+            cost_model=CostModel.for_key_size(key_size),
+        )
+
+    dataset = default_dataset(max(home_count, 300), window_count, seed)
+    windows = sample_market_windows(dataset, home_count, sample_count)
+
+    window_scope = build_engine("window").run_windows_report(
+        dataset, windows, home_count=home_count, workers=1
+    )
+    day_scope = build_engine("day").run_windows_report(
+        dataset, windows, home_count=home_count, workers=1
+    )
+
+    economics_identical = len(window_scope.traces) == len(day_scope.traces) and all(
+        a.result.economically_equal(b.result)
+        for a, b in zip(window_scope.traces, day_scope.traces)
+    )
+
+    identical_by_workers: Dict[int, bool] = {}
+    for workers in worker_counts:
+        report = build_engine("day").run_windows_report(
+            dataset, windows, home_count=home_count, workers=workers
+        )
+        identical_by_workers[workers] = day_scope.identical_to(report)
+
+    socket_run = build_engine("day", transport="socket").run_windows_report(
+        dataset, windows, home_count=home_count, workers=1
+    )
+    socket_identical = day_scope.identical_to(socket_run)
+
+    window_seconds = window_scope.serial_simulated_seconds
+    day_seconds = day_scope.serial_simulated_seconds
+    return SessionReuseObservation(
+        home_count=home_count,
+        windows_executed=len(day_scope.traces),
+        window_scope_day_seconds=window_seconds,
+        day_scope_day_seconds=day_seconds,
+        session_reuse_speedup=(
+            window_seconds / day_seconds if day_seconds > 0 else 1.0
+        ),
+        window_scope_gc_offline_seconds=window_scope.stats.gc_offline_seconds,
+        day_scope_gc_offline_seconds=day_scope.stats.gc_offline_seconds,
+        economics_identical=economics_identical,
+        sessions_established=day_scope.stats.sessions_established,
+        sessions_reused=day_scope.stats.sessions_reused,
+        day_scope_identical_by_workers=identical_by_workers,
+        socket_transport_identical=socket_identical,
+    )
 
 
 @dataclass(frozen=True)

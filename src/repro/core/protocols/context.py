@@ -129,6 +129,19 @@ class ProtocolConfig:
             topologies; only simulated communication time and the
             per-topology hop/round counters change.  See
             ``docs/TOPOLOGIES.md``.
+        session_scope: lifetime of the protocol sessions behind the fixed
+            setup costs — ``"window"`` (the seed behavior: every market
+            window re-pays the 0.5 s coordination setup and a fresh
+            base-OT session) or ``"day"`` (sessions are established once
+            at the day's anchor window and reused across windows,
+            amortizing both charges).  Economic results are identical
+            across scopes; only the simulated clocks, the session wire
+            bytes and the ``sessions_established``/``sessions_reused``
+            counters change.  See ``docs/SESSIONS.md``.
+        transport: the physical message fabric of the simulated network —
+            ``"local"`` (synchronous in-process delivery) or ``"socket"``
+            (length-prefixed loopback TCP).  Bit-identical results and
+            statistics by construction; see :mod:`repro.net.transport`.
     """
 
     key_size: int = 512
@@ -143,6 +156,8 @@ class ProtocolConfig:
     comparison_pool_headroom: int = 1
     ot_extension_kappa: int = 128
     aggregation_topology: str = "chain"
+    session_scope: str = "window"
+    transport: str = "local"
 
 
 def _derived_rng(seed: int, *labels: object) -> random.Random:
@@ -274,7 +289,7 @@ class KeyRing:
             self._comparison_pools.values()
         )
 
-    def recycle_pools(self) -> int:
+    def recycle_pools(self, keep_sessions: bool = False) -> int:
         """Move every pool's unused entries back to its reservoir.
 
         Called by the engine at the start of each trading window so the
@@ -286,9 +301,18 @@ class KeyRing:
         out at most once), only the *accounting* restarts from a cold pool.
         Returns the number of entries recycled (obfuscators plus prepared
         comparisons).
+
+        ``keep_sessions`` (day-scoped runs) leaves the comparison pools'
+        OT-extension sessions open across the boundary — the session
+        charge is then paid once at the day's anchor window instead of
+        once per window (see :mod:`repro.net.session`); the per-instance
+        garbling accounting still restarts cold either way.
         """
         recycled = sum(pool.recycle() for pool in self._randomizer_pools.values())
-        recycled += sum(pool.recycle() for pool in self._comparison_pools.values())
+        recycled += sum(
+            pool.recycle(close_session=not keep_sessions)
+            for pool in self._comparison_pools.values()
+        )
         return recycled
 
 
@@ -429,10 +453,17 @@ class ProtocolContext:
         pool = self.keyring.comparison_pool(self.config.comparison_bits)
         sessions_before = pool.sessions_started
         produced = pool.warm(target)
+        new_sessions = pool.sessions_started - sessions_before
+        if new_sessions:
+            # A window-scoped warm-up opened (and pays for) a fresh
+            # OT-extension session; day-scoped runs never reach this —
+            # their session is established once by the engine at the
+            # day's anchor window and counted there.
+            self.network.record_session_established(new_sessions)
         self.charge_comparison_offline(
             pool.and_gate_count,
             produced,
-            new_sessions=pool.sessions_started - sessions_before,
+            new_sessions=new_sessions,
         )
         return produced
 

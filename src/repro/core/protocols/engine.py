@@ -52,6 +52,8 @@ from ...data.loader import WindowSlice, iter_windows
 from ...data.traces import TraceDataset
 from ...net.costmodel import CostModel
 from ...net.network import SimulatedNetwork
+from ...net.session import SessionManager
+from ...net.transport import TRANSPORTS, make_transport
 from ..agent import AgentWindowState, BatteryPolicy
 from ..baseline import grid_only_window
 from ..coalition import form_coalitions
@@ -79,6 +81,13 @@ __all__ = ["PrivateWindowTrace", "PrivateTradingEngine"]
 #: notifications) rather than perform the secure computation itself; they
 #: are excluded from the Table I protocol-bandwidth measurement.
 _SETTLEMENT_KINDS = ("energy_route", "payment")
+
+#: Day-scope session keys (see :mod:`repro.net.session`): the market
+#: coordination channel every agent shares with the orchestration fabric,
+#: and the evaluation leaders' OT-extension channel backing the garbled
+#: comparison (``ComparisonPool.sessions_started`` accounting).
+_COORDINATION_SESSION = ("pem", "coordination")
+_COMPARISON_SESSION = ("gc", "ot-extension")
 
 
 @dataclass
@@ -148,6 +157,20 @@ class PrivateTradingEngine:
         self.config = config
         self.cost_model = cost_model or CostModel.for_key_size(config.key_size)
         self.keyring = KeyRing(config)
+        #: long-lived protocol sessions (scope from ``config.session_scope``;
+        #: replaced per shard by :meth:`execute_shard` so the anchor window
+        #: is consistent across workers — see :mod:`repro.net.session`).
+        self.sessions = SessionManager(config.session_scope)
+        if config.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {config.transport!r}; expected one of {TRANSPORTS}"
+            )
+
+    def build_network(self) -> SimulatedNetwork:
+        """A fresh network over this engine's cost model and transport."""
+        return SimulatedNetwork(
+            cost_model=self.cost_model, transport=make_transport(self.config.transport)
+        )
 
     # -- single window -----------------------------------------------------------
 
@@ -169,7 +192,20 @@ class PrivateTradingEngine:
             a :class:`PrivateWindowTrace` containing the window result plus
             protocol measurements.
         """
-        network = network or SimulatedNetwork(cost_model=self.cost_model)
+        owns_network = network is None
+        network = network or self.build_network()
+        try:
+            return self._run_window_over(window, states, network)
+        finally:
+            if owns_network:
+                network.close()
+
+    def _run_window_over(
+        self,
+        window: int,
+        states: Sequence[AgentWindowState],
+        network: SimulatedNetwork,
+    ) -> PrivateWindowTrace:
         baseline_stats = network.stats
         start_bytes = baseline_stats.total_bytes
         start_settlement_bytes = baseline_stats.bytes_for_kinds(_SETTLEMENT_KINDS)
@@ -179,12 +215,23 @@ class PrivateTradingEngine:
         start_fallbacks = baseline_stats.pool_fallbacks
         start_gc_fallbacks = baseline_stats.gc_fallbacks
 
+        day_scope = self.sessions.scope == "day"
+        self.sessions.begin_window(window)
+
         # Window boundary: park unused pool entries in the reservoirs so the
         # offline accounting of this window never depends on which windows
         # ran earlier in this process (the values themselves are kept and
         # remain one-shot).  This is what keeps sharded parallel runs
-        # bit-identical to serial ones.
-        self.keyring.recycle_pools()
+        # bit-identical to serial ones.  Day-scoped runs keep the base-OT
+        # sessions open across the boundary — that is the cost they
+        # amortize; the per-instance accounting still restarts cold.
+        self.keyring.recycle_pools(keep_sessions=day_scope)
+
+        # Day scope: the fixed session costs are paid once, at the day's
+        # anchor window (market or not — the day session comes up when the
+        # day starts); every other window leases the established sessions.
+        if day_scope:
+            self._lease_day_sessions(network)
 
         coalitions = form_coalitions(window, states)
         baseline = grid_only_window(coalitions, self.params)
@@ -213,8 +260,12 @@ class PrivateTradingEngine:
             rng=random.Random((self.config.seed * 1_000_003 + window) & 0xFFFFFFFF),
         )
 
-        # Per-window protocol session overhead (container coordination).
-        context.charge_window_setup()
+        # Window-scoped sessions re-pay the protocol session overhead
+        # (container coordination) every market window; day scope already
+        # charged it at the anchor window.
+        if not day_scope:
+            context.charge_window_setup()
+            network.record_session_established()
 
         # Protocol 2: Private Market Evaluation.
         evaluation = run_market_evaluation(context)
@@ -251,6 +302,50 @@ class PrivateTradingEngine:
         )
         return trace
 
+    def _lease_day_sessions(self, network: SimulatedNetwork) -> None:
+        """Lease (or establish) the day-scoped protocol sessions.
+
+        At the day's anchor window the establishment is *accounted*: the
+        fixed coordination setup is charged to the online clock, the
+        OT-extension base-OT session is opened on the comparison pool
+        (``ComparisonPool.begin_session``) and charged to the gc-offline
+        clock, and ``sessions_established`` is bumped once per session.
+        Every other window — including the first window of a worker shard
+        that does not contain the anchor — records reuses instead, so
+        per-window accounting is a pure function of the window and sharded
+        runs stay bit-identical to serial ones.
+        """
+        model = network.cost_model
+        coordination = self.sessions.lease(*_COORDINATION_SESSION)
+        if coordination.counts_as_established:
+            network.record_session_established()
+            if model is not None:
+                network.charge_crypto_time(model.window_setup_cost())
+        else:
+            network.record_session_reused()
+        if not self.config.use_comparison_pool:
+            return
+        comparison = self.sessions.lease(*_COMPARISON_SESSION)
+        pool = self.keyring.comparison_pool(self.config.comparison_bits)
+        if comparison.counts_as_established:
+            pool.begin_session()
+            network.record_session_established()
+            # The session's base-OT wire traffic is accounted here, at
+            # establishment, attributed to the day-long OT-extension
+            # channel itself (window scope attributes it to the window's
+            # evaluation leader — a per-window identity no worker shard
+            # could reconstruct for a day-long session).
+            network.charge_extra_traffic(
+                "/".join(_COMPARISON_SESSION), sent=pool.session_wire_bytes()
+            )
+            if model is not None:
+                network.charge_gc_offline_time(
+                    model.comparison_session_cost(self.config.ot_extension_kappa)
+                )
+        else:
+            pool.ensure_session()
+            network.record_session_reused()
+
     def _attach_measurements(
         self,
         trace: PrivateWindowTrace,
@@ -286,6 +381,7 @@ class PrivateTradingEngine:
         battery_policy: Optional[BatteryPolicy] = None,
         reuse_network: bool = False,
         collect_stats: bool = False,
+        session_anchor: Optional[int] = None,
     ) -> tuple[List[PrivateWindowTrace], List["TrafficStats"]]:
         """Serially execute one shard of windows (the worker-side primitive).
 
@@ -305,6 +401,11 @@ class PrivateTradingEngine:
             collect_stats: also return the :class:`TrafficStats` of each
                 window (one accumulated object for the whole shard when
                 ``reuse_network`` is set).
+            session_anchor: the day's session-establishing window for
+                ``session_scope="day"`` — the *global* first window of the
+                run, which for a worker shard may not be (or even be in)
+                this shard.  Defaults to the first selected window, which
+                is correct for serial (single-shard) execution.
 
         Returns:
             ``(traces, stats)`` — one trace per selected window in ascending
@@ -313,30 +414,44 @@ class PrivateTradingEngine:
         selected = sorted(set(windows))
         if not selected:
             return [], []
+        # A fresh session manager per shard: every worker agrees on the
+        # anchor window, and repeated runs on one engine stay deterministic.
+        anchor = session_anchor if session_anchor is not None else selected[0]
+        self.sessions = SessionManager(self.config.session_scope, anchor_window=anchor)
         agents = build_agents(dataset, battery_policy=battery_policy, home_count=home_count)
         count = len(agents)
-        shared_network = SimulatedNetwork(cost_model=self.cost_model) if reuse_network else None
+        shared_network = self.build_network() if reuse_network else None
 
         traces: List[PrivateWindowTrace] = []
         stats: List["TrafficStats"] = []
         last = selected[-1]
         wanted = set(selected)
-        for window_slice in iter_windows(dataset, stop=last + 1):
-            trimmed = WindowSlice(
-                window=window_slice.window,
-                home_ids=window_slice.home_ids[:count],
-                generation_kwh=window_slice.generation_kwh[:count],
-                load_kwh=window_slice.load_kwh[:count],
-            )
-            states = states_for_window(agents, trimmed)
-            if window_slice.window not in wanted:
-                continue
-            network = shared_network or SimulatedNetwork(cost_model=self.cost_model)
-            traces.append(self.run_window(window_slice.window, states, network=network))
-            if collect_stats and shared_network is None:
-                stats.append(network.stats)
-        if collect_stats and shared_network is not None:
-            stats.append(shared_network.stats)
+        try:
+            for window_slice in iter_windows(dataset, stop=last + 1):
+                trimmed = WindowSlice(
+                    window=window_slice.window,
+                    home_ids=window_slice.home_ids[:count],
+                    generation_kwh=window_slice.generation_kwh[:count],
+                    load_kwh=window_slice.load_kwh[:count],
+                )
+                states = states_for_window(agents, trimmed)
+                if window_slice.window not in wanted:
+                    continue
+                network = shared_network or self.build_network()
+                try:
+                    traces.append(
+                        self.run_window(window_slice.window, states, network=network)
+                    )
+                    if collect_stats and shared_network is None:
+                        stats.append(network.stats)
+                finally:
+                    if shared_network is None:
+                        network.close()
+            if collect_stats and shared_network is not None:
+                stats.append(shared_network.stats)
+        finally:
+            if shared_network is not None:
+                shared_network.close()
         return traces, stats
 
     def run_windows(
@@ -408,6 +523,7 @@ class PrivateTradingEngine:
         workers: int = 1,
         shard_strategy: str = "stride",
         background_refill: bool = False,
+        runner_transport: Optional[str] = None,
     ) -> "RunReport":
         """Like :meth:`run_windows`, returning the full :class:`RunReport`.
 
@@ -415,11 +531,21 @@ class PrivateTradingEngine:
         :class:`TrafficStats` (folded in window order, so bit-stable across
         worker counts), per-shard wall-clock, and the simulated-clock
         day-runtime aggregates used by the Fig. 5-style parallel benchmark.
+
+        ``runner_transport`` selects how shards reach the workers:
+        ``"local"`` (multiprocessing pipes) or ``"socket"`` (length-prefixed
+        TCP; see :class:`repro.runtime.ParallelRunner`).  It defaults to
+        the engine's ``config.transport``, so a socket-configured engine
+        fans its shards out over real sockets too.
         """
         from ...runtime import ExecutionPlan, ParallelRunner
 
         plan = ExecutionPlan.for_windows(windows, workers, strategy=shard_strategy)
-        runner = ParallelRunner(plan, background_refill=background_refill)
+        runner = ParallelRunner(
+            plan,
+            background_refill=background_refill,
+            transport=runner_transport or self.config.transport,
+        )
         return runner.run(
             self,
             dataset,

@@ -8,7 +8,7 @@ equivalence tests and all of the evaluation benchmarks engine-agnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from .baseline import GridOnlyOutcome
@@ -53,6 +53,28 @@ class WindowResult:
     grid_interaction_kwh: float = 0.0
     simulated_runtime_seconds: float = 0.0
     bandwidth_bytes: int = 0
+
+    #: fields that record protocol *measurements* rather than market
+    #: outcomes; everything else is economic and compared by
+    #: :meth:`economically_equal`.  New fields are economic by default —
+    #: a measurement field must be opted out here explicitly.
+    _MEASUREMENT_FIELDS = frozenset({"simulated_runtime_seconds", "bandwidth_bytes"})
+
+    def economically_equal(self, other: "WindowResult") -> bool:
+        """Equality of the *market outcome*, ignoring protocol measurements.
+
+        Compares every economic field (coalitions, case, price, clearing,
+        utilities, costs, grid interaction) but not
+        ``simulated_runtime_seconds`` / ``bandwidth_bytes``, which depend
+        on deployment knobs — session scope, transport, cost model — that
+        must never influence what is traded.  This is the identity the
+        session-reuse and topology certificates assert.
+        """
+        return all(
+            getattr(self, f.name) == getattr(other, f.name)
+            for f in fields(self)
+            if f.name not in self._MEASUREMENT_FIELDS
+        )
 
     @property
     def buyer_coalition_cost(self) -> float:

@@ -308,21 +308,67 @@ class ComparisonPool:
         self.stocked += count
         return count
 
-    def recycle(self) -> int:
-        """Park unused pool instances in the reservoir; close the session.
+    def recycle(self, close_session: bool = True) -> int:
+        """Park unused pool instances in the reservoir.
 
         Called at window boundaries (alongside the Paillier pools) so each
         window's offline accounting — instances produced *and* the base-OT
         session charge — is a function of that window alone.  The parked
         instances stay valid and one-shot.  Returns the number recycled.
+
+        ``close_session`` selects the session discipline: ``True`` (the
+        window-scoped default) also closes the OT-extension session, so
+        the next window's first ``refill`` opens — and is charged for — a
+        fresh base-OT session; ``False`` (day-scoped runs, see
+        :mod:`repro.net.session`) keeps the session alive across the
+        boundary, which is exactly what the scope amortizes.
         """
         moved = len(self._pool)
         if moved:
             with self._reservoir_lock:
                 self._reservoir.extend(self._pool)
             self._pool.clear()
-        self._session_open = False
+        if close_session:
+            self._session_open = False
         return moved
+
+    # -- session lifecycle (the day-scope hooks) ---------------------------------
+
+    def begin_session(self) -> None:
+        """Open a new *accounted* OT-extension session explicitly.
+
+        Used by day-scoped runs at the day's anchor window: the session —
+        ``kappa`` base OTs — is established once here and then kept open
+        across window boundaries (``recycle(close_session=False)``)
+        instead of being re-paid by every window's first ``refill``.
+        Increments :attr:`sessions_started` unconditionally, mirroring
+        :meth:`refill`'s accounting for the window-scoped path.
+
+        Unlike the lazy window-scoped flow — where the session's base-OT
+        wire bytes ride on the first instance taken — the *caller*
+        accounts the wire bytes (:meth:`session_wire_bytes`) at
+        establishment: "the first comparison of the day" is not knowable
+        inside a worker shard, the anchor window is.
+        """
+        self._session_open = True
+        self._session_bytes_pending = False
+        self.sessions_started += 1
+
+    def ensure_session(self) -> bool:
+        """Adopt an already-established session without accounting it.
+
+        Used by day-scoped *worker shards* whose windows come after the
+        day's anchor window: the anchor — possibly executed in another
+        process — already paid for establishment, so this opens the local
+        session state silently (no :attr:`sessions_started` increment, no
+        pending base-OT bytes).  Returns ``True`` when the session had to
+        be adopted, ``False`` when it was already open.
+        """
+        if self._session_open:
+            return False
+        self._session_open = True
+        self._session_bytes_pending = False
+        return True
 
     # -- offline phase ---------------------------------------------------------
 

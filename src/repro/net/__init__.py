@@ -11,7 +11,16 @@ inbox (privacy auditing).
 from .costmodel import CostModel, CryptoCostModel, NetworkCostModel
 from .message import Message, MessageKind
 from .network import NetworkError, Party, SimulatedNetwork
+from .session import SESSION_SCOPES, SessionLease, SessionManager, SessionRecord
 from .stats import PartyTraffic, TrafficStats
+from .transport import (
+    TRANSPORTS,
+    LocalTransport,
+    SocketTransport,
+    Transport,
+    TransportError,
+    make_transport,
+)
 
 __all__ = [
     "CostModel",
@@ -24,4 +33,14 @@ __all__ = [
     "SimulatedNetwork",
     "PartyTraffic",
     "TrafficStats",
+    "SESSION_SCOPES",
+    "SessionLease",
+    "SessionManager",
+    "SessionRecord",
+    "TRANSPORTS",
+    "Transport",
+    "TransportError",
+    "LocalTransport",
+    "SocketTransport",
+    "make_transport",
 ]

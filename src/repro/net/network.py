@@ -1,16 +1,20 @@
-"""In-process simulated network of PEM parties.
+"""Simulated network of PEM parties: accounting + secure-channel layer.
 
 Each smart home in the paper's prototype runs in its own Docker container;
 here every party is a :class:`Party` object registered with a
-:class:`SimulatedNetwork`.  The network delivers messages synchronously (the
-protocols are sequential round-based anyway), records traffic statistics and
+:class:`SimulatedNetwork`.  The network is a pure *policy* layer: it
+enforces the secure-channel discipline (messages can only be exchanged
+between registered parties, and a party can only read its own inbox — which
+is what lets the privacy auditor (:mod:`repro.core.adversary`) reason about
+exactly which bytes each party observed), records traffic statistics and
 charges simulated time through the :class:`~repro.net.costmodel.CostModel`.
 
-The network also enforces a simple secure-channel discipline: messages can
-only be exchanged between registered parties, and a party can only read its
-own inbox — which is what lets the privacy auditor
-(:mod:`repro.core.adversary`) reason about exactly which bytes each party
-observed.
+The *mechanism* — how a message physically reaches the recipient — lives in
+an injected :class:`~repro.net.transport.Transport`: synchronous in-process
+delivery by default (:class:`~repro.net.transport.LocalTransport`), or real
+length-prefixed loopback TCP (:class:`~repro.net.transport.SocketTransport`)
+with bit-identical protocol behavior.  Delivery is synchronous either way
+(the protocols are sequential round-based anyway).
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional
 from .costmodel import CostModel
 from .message import Message, MessageKind
 from .stats import TrafficStats
+from .transport import LocalTransport, Transport
 
 __all__ = ["NetworkError", "Party", "SimulatedNetwork"]
 
@@ -90,15 +95,27 @@ class Party:
         self.received_log.append(message)
 
     def receive(self, kind: Optional[MessageKind] = None) -> Message:
-        """Pop the next message from the inbox, optionally filtered by kind."""
+        """Pop the next message from the inbox, optionally filtered by kind.
+
+        The kind-filtered path uses the same kept-deque pattern as
+        :meth:`receive_all`: messages scanned before the match are popped
+        into a holding deque and spliced back afterwards, so one call
+        costs O(match position) instead of the O(inbox) a positional
+        ``del`` on a deque would — repeated filtered drains stay linear
+        overall rather than quadratic.
+        """
         if kind is None:
             if not self._inbox:
                 raise NetworkError(f"{self.party_id}: inbox empty")
             return self._inbox.popleft()
-        for index, message in enumerate(self._inbox):
+        kept: Deque[Message] = deque()
+        while self._inbox:
+            message = self._inbox.popleft()
             if message.kind == kind:
-                del self._inbox[index]
+                self._inbox.extendleft(reversed(kept))
                 return message
+            kept.append(message)
+        self._inbox = kept
         raise NetworkError(f"{self.party_id}: no pending message of kind {kind.value}")
 
     def receive_all(self, kind: Optional[MessageKind] = None) -> List[Message]:
@@ -129,12 +146,22 @@ class SimulatedNetwork:
         cost_model: optional cost model; when provided, every message and
             every crypto operation charged via :meth:`charge_crypto_time`
             advances the simulated clock.
+        transport: the delivery mechanism; defaults to synchronous
+            in-process delivery (:class:`~repro.net.transport.LocalTransport`).
+            The network validates, accounts and observes every message
+            *before* handing it to the transport, so statistics are
+            transport-invariant by construction.
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        transport: Optional[Transport] = None,
+    ) -> None:
         self._parties: Dict[str, Party] = {}
         self.stats = TrafficStats()
         self.cost_model = cost_model
+        self.transport = transport if transport is not None else LocalTransport()
         self._message_hooks: List[Callable[[Message], None]] = []
 
     # -- party management --------------------------------------------------------
@@ -145,6 +172,7 @@ class SimulatedNetwork:
             raise NetworkError(f"party {party_id!r} already registered")
         party = Party(party_id, self)
         self._parties[party_id] = party
+        self.transport.register(party_id, party._enqueue)
         return party
 
     def party(self, party_id: str) -> Party:
@@ -183,7 +211,11 @@ class SimulatedNetwork:
         self.stats.record_send(message.sender, message.recipient, size, kind=message.kind.value)
         for hook in self._message_hooks:
             hook(message)
-        self._parties[message.recipient]._enqueue(message)
+        self.transport.deliver(message)
+
+    def close(self) -> None:
+        """Release the underlying transport's resources (idempotent)."""
+        self.transport.close()
 
     # -- cost accounting ---------------------------------------------------------
 
@@ -224,6 +256,21 @@ class SimulatedNetwork:
         """
         if hops or rounds:
             self.stats.record_aggregation(topology, hops, rounds)
+
+    def record_session_established(self, count: int = 1) -> None:
+        """Record protocol sessions paid for (setup charged) this window.
+
+        Under ``session_scope="window"`` every market window establishes
+        its sessions anew; under ``"day"`` only the anchor window does —
+        see :mod:`repro.net.session`.
+        """
+        if count > 0:
+            self.stats.record_sessions(established=count)
+
+    def record_session_reused(self, count: int = 1) -> None:
+        """Record windows served by an already-established session."""
+        if count > 0:
+            self.stats.record_sessions(reused=count)
 
     def record_pool_fallback(self, count: int = 1) -> None:
         """Record encryptions whose randomizer pool was drained.

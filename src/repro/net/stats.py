@@ -76,6 +76,14 @@ class TrafficStats:
     #: message time.  ``hops`` vs. ``rounds`` mirrors the offline/online
     #: split: total work vs. critical path.
     aggregation_rounds: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: protocol sessions whose establishment (the fixed per-window setup
+    #: second, the base-OT session of the OT extension) was *charged* in
+    #: this run.  Window-scoped runs pay per market window; day-scoped
+    #: runs pay once at the anchor window (see :mod:`repro.net.session`).
+    sessions_established: int = 0
+    #: session leases served by an already-established (day-scoped)
+    #: session — windows that skipped the fixed setup costs entirely.
+    sessions_reused: int = 0
 
     def record_send(self, sender: str, recipient: str, size: int, kind: str = "other") -> None:
         """Record one unicast message of ``size`` bytes."""
@@ -125,6 +133,11 @@ class TrafficStats:
         self.aggregation_hops[topology] += hops
         self.aggregation_rounds[topology] += rounds
 
+    def record_sessions(self, established: int = 0, reused: int = 0) -> None:
+        """Count session establishments (setup paid) and reuses (skipped)."""
+        self.sessions_established += established
+        self.sessions_reused += reused
+
     def merge(self, other: "TrafficStats") -> None:
         """Merge another stats object into this one (e.g. per-window totals)."""
         for party, traffic in other.per_party.items():
@@ -142,6 +155,8 @@ class TrafficStats:
             self.aggregation_hops[topology] += hops
         for topology, rounds in other.aggregation_rounds.items():
             self.aggregation_rounds[topology] += rounds
+        self.sessions_established += other.sessions_established
+        self.sessions_reused += other.sessions_reused
 
     def average_bytes_per_party(self, parties: Iterable[str] | None = None) -> float:
         """Average total traffic (sent + received) across parties, in bytes.

@@ -1,0 +1,247 @@
+"""Pluggable message transports for the PEM network layer.
+
+The paper's prototype runs each smart home in its own Docker container and
+ships protocol messages over TCP; the reproduction historically hard-wired
+synchronous in-process delivery into :class:`~repro.net.network.SimulatedNetwork`.
+This module splits that decision out: a :class:`Transport` moves one
+:class:`~repro.net.message.Message` from sender to recipient, nothing more —
+registration checks, traffic accounting, cost charging and the
+secure-channel discipline all stay in the network layer, which treats the
+transport as an injected dependency.
+
+Two implementations are provided:
+
+* :class:`LocalTransport` — the historical behavior, extracted verbatim:
+  synchronous in-process delivery into the recipient's inbox sink.  Zero
+  overhead, and the default everywhere.
+* :class:`SocketTransport` — length-prefixed frames over a real loopback
+  TCP connection.  Every message is serialized (pickle — the
+  :class:`Message` dataclass is pickle-clean by construction, the same
+  property the parallel runtime relies on), shipped through the kernel's
+  TCP stack, deserialized by a receiver thread and acknowledged before
+  :meth:`Transport.deliver` returns.  The acknowledgement keeps delivery
+  synchronous and totally ordered, so protocol runs are **bit-identical**
+  to :class:`LocalTransport` runs — same message ids, same inbox order,
+  same recorded byte counts — while the bytes demonstrably cross a socket.
+
+The module also exposes the framing helpers (:func:`send_frame` /
+:func:`recv_frame`) reused by the runtime's socket shard fan-out
+(:mod:`repro.runtime.runner`), so both socket paths speak the same wire
+format: a 4-byte big-endian length followed by the pickled payload.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Callable, Dict, Optional
+
+from .message import Message
+
+__all__ = [
+    "TransportError",
+    "Transport",
+    "LocalTransport",
+    "SocketTransport",
+    "make_transport",
+    "TRANSPORTS",
+    "send_frame",
+    "recv_frame",
+]
+
+#: Recognized transport names (the values of ``ProtocolConfig.transport``).
+TRANSPORTS = ("local", "socket")
+
+#: Frame header: 4-byte big-endian payload length.
+_HEADER = struct.Struct(">I")
+
+#: A delivery sink: the recipient-side callable a transport hands each
+#: message to (in practice the party's inbox enqueue).
+Sink = Callable[[Message], None]
+
+
+class TransportError(Exception):
+    """Raised on transport-level misuse (unknown endpoint, closed transport)."""
+
+
+# ---------------------------------------------------------------------------
+# Shared wire framing (also used by the runtime's socket shard fan-out).
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame to ``sock``."""
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or ``None`` on a clean EOF."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Read one length-prefixed frame, or ``None`` on a clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    return _recv_exact(sock, length)
+
+
+# ---------------------------------------------------------------------------
+# The transport interface.
+# ---------------------------------------------------------------------------
+
+
+class Transport:
+    """Moves messages between registered endpoints.
+
+    The contract every implementation must honor (enforced by
+    ``tests/net/test_transport_conformance.py``):
+
+    * :meth:`register` binds a party id to a delivery sink exactly once;
+    * :meth:`deliver` hands the message to the recipient's sink **before**
+      returning (synchronous delivery — the round-based protocols send and
+      immediately read), preserving per-recipient order;
+    * delivery to an unregistered recipient raises :class:`TransportError`;
+    * :meth:`close` releases any real resources and is idempotent.
+    """
+
+    def register(self, party_id: str, sink: Sink) -> None:
+        raise NotImplementedError
+
+    def deliver(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release transport resources (idempotent; no-op by default)."""
+
+
+class LocalTransport(Transport):
+    """Synchronous in-process delivery (the historical network behavior)."""
+
+    def __init__(self) -> None:
+        self._sinks: Dict[str, Sink] = {}
+
+    def register(self, party_id: str, sink: Sink) -> None:
+        if party_id in self._sinks:
+            raise TransportError(f"endpoint {party_id!r} already registered")
+        self._sinks[party_id] = sink
+
+    def deliver(self, message: Message) -> None:
+        sink = self._sinks.get(message.recipient)
+        if sink is None:
+            raise TransportError(f"no endpoint registered for {message.recipient!r}")
+        sink(message)
+
+
+class SocketTransport(Transport):
+    """Length-prefixed TCP delivery over a real loopback connection.
+
+    One listener socket and one persistent sender connection are opened at
+    construction; a daemon receiver thread reads frames, dispatches each
+    deserialized message to the recipient's sink, and acknowledges it.
+    :meth:`deliver` blocks on the acknowledgement, so delivery stays
+    synchronous and ordered — the property that makes socket runs
+    bit-identical to local ones.  Errors raised by the sink (or an unknown
+    recipient) travel back in the acknowledgement frame and re-raise in
+    the sender, matching :class:`LocalTransport`'s synchronous semantics.
+    """
+
+    _ACK_OK = b"\x00"
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self._sinks: Dict[str, Sink] = {}
+        self._closed = False
+        self._lock = threading.Lock()
+        self._listener = socket.create_server((host, 0))
+        port = self._listener.getsockname()[1]
+        self._receiver = threading.Thread(
+            target=self._serve, name="socket-transport-recv", daemon=True
+        )
+        self._receiver.start()
+        self._sender = socket.create_connection((host, port))
+
+    # -- receiver side ---------------------------------------------------------
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:  # listener closed before the sender connected
+            return
+        with conn:
+            while True:
+                try:
+                    frame = recv_frame(conn)
+                except OSError:
+                    return
+                if frame is None:
+                    return
+                try:
+                    message = pickle.loads(frame)
+                    sink = self._sinks.get(message.recipient)
+                    if sink is None:
+                        raise TransportError(
+                            f"no endpoint registered for {message.recipient!r}"
+                        )
+                    sink(message)
+                except BaseException as exc:  # propagate to the sender
+                    reply = b"\x01" + pickle.dumps(exc)
+                else:
+                    reply = self._ACK_OK
+                try:
+                    send_frame(conn, reply)
+                except OSError:
+                    return
+
+    # -- sender side -----------------------------------------------------------
+
+    def register(self, party_id: str, sink: Sink) -> None:
+        if party_id in self._sinks:
+            raise TransportError(f"endpoint {party_id!r} already registered")
+        # Safe without the receiver lock: deliver() blocks until each
+        # message is acknowledged, so the receiver thread never reads the
+        # sink table while the protocol thread is mutating it.
+        self._sinks[party_id] = sink
+
+    def deliver(self, message: Message) -> None:
+        with self._lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            send_frame(self._sender, pickle.dumps(message))
+            reply = recv_frame(self._sender)
+        if reply is None:
+            raise TransportError("socket transport connection lost")
+        if reply[:1] != self._ACK_OK:
+            raise pickle.loads(reply[1:])
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for sock in (self._sender, self._listener):
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - best-effort teardown
+                    pass
+        self._receiver.join(timeout=5)
+
+
+def make_transport(name: str) -> Transport:
+    """Build a transport by configuration name (``"local"`` / ``"socket"``)."""
+    if name == "local":
+        return LocalTransport()
+    if name == "socket":
+        return SocketTransport()
+    raise ValueError(f"unknown transport {name!r}; expected one of {TRANSPORTS}")

@@ -28,11 +28,15 @@ the Fig. 5-style quantity that scales near-linearly with workers.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import selectors
+import socket
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from ..net.stats import TrafficStats
+from ..net.transport import recv_frame, send_frame
 from .plan import ExecutionPlan
 from .refill import BackgroundRefiller
 
@@ -86,6 +90,9 @@ class _ShardPayload:
     reuse_network: bool
     background_refill: bool
     refill_target: int
+    #: the run's global first window — the day-scope session anchor every
+    #: worker must agree on (see :mod:`repro.net.session`).
+    session_anchor: Optional[int] = None
 
 
 @dataclass
@@ -127,6 +134,7 @@ def _run_payload(engine: "PrivateTradingEngine", payload: _ShardPayload) -> _Sha
             battery_policy=payload.battery_policy,
             reuse_network=payload.reuse_network,
             collect_stats=True,
+            session_anchor=payload.session_anchor,
         )
     finally:
         if refiller is not None:
@@ -147,6 +155,25 @@ def _execute_shard(payload: _ShardPayload) -> _ShardOutcome:
     ``fork`` it simply runs against the inherited interpreter state.
     """
     return _run_payload(payload.spec.build(), payload)
+
+
+def _socket_shard_worker(host: str, port: int) -> None:
+    """Socket-mode worker entry point.
+
+    Connects back to the parent's shard server, reads one pickled
+    :class:`_ShardPayload` frame (dataset included — socket workers share
+    nothing with the parent), executes it, and ships the pickled
+    :class:`_ShardOutcome` back over the same connection.  The wire format
+    is the same length-prefixed framing the message-level
+    :class:`~repro.net.transport.SocketTransport` speaks.
+    """
+    with socket.create_connection((host, port)) as conn:
+        frame = recv_frame(conn)
+        if frame is None:  # pragma: no cover - parent died before sending
+            return
+        payload: _ShardPayload = pickle.loads(frame)
+        outcome = _run_payload(payload.spec.build(), payload)
+        send_frame(conn, pickle.dumps(outcome))
 
 
 @dataclass
@@ -211,6 +238,8 @@ class RunReport:
             and s.gc_fallbacks == o.gc_fallbacks
             and dict(s.aggregation_hops) == dict(o.aggregation_hops)
             and dict(s.aggregation_rounds) == dict(o.aggregation_rounds)
+            and s.sessions_established == o.sessions_established
+            and s.sessions_reused == o.sessions_reused
         )
 
     # -- simulated-clock aggregates (the paper's runtime metric) ---------------
@@ -255,6 +284,15 @@ class ParallelRunner:
             shard (and the inline path) so pool warm-ups pop precomputed
             reservoir values instead of exponentiating during window setup.
         refill_target: reservoir fill level the refillers maintain.
+        transport: how shard payloads reach the workers — ``"local"``
+            (a ``multiprocessing`` pool and its pipes, the default) or
+            ``"socket"`` (each worker process connects back to a loopback
+            TCP server and exchanges length-prefixed pickled frames — the
+            same wire format as the message-level
+            :class:`~repro.net.transport.SocketTransport`, and the shape
+            of a deployment that fans shards out to real machines).
+            Results are bit-identical across transports; single-shard
+            plans always run inline.
     """
 
     def __init__(
@@ -263,6 +301,7 @@ class ParallelRunner:
         start_method: Optional[str] = None,
         background_refill: bool = False,
         refill_target: int = 32,
+        transport: str = "local",
     ) -> None:
         self.plan = plan
         if start_method is None:
@@ -271,6 +310,11 @@ class ParallelRunner:
         self.start_method = start_method
         self.background_refill = background_refill
         self.refill_target = refill_target
+        if transport not in ("local", "socket"):
+            raise ValueError(
+                f"unknown runner transport {transport!r}; expected 'local' or 'socket'"
+            )
+        self.transport = transport
 
     # -- execution -------------------------------------------------------------
 
@@ -294,6 +338,7 @@ class ParallelRunner:
             return RunReport(plan=plan)
 
         inline = plan.workers == 1
+        session_anchor = min(plan.windows)
         payloads = [
             _ShardPayload(
                 shard_index=index,
@@ -307,12 +352,15 @@ class ParallelRunner:
                 reuse_network=reuse_network,
                 background_refill=self.background_refill,
                 refill_target=self.refill_target,
+                session_anchor=session_anchor,
             )
             for index, shard in enumerate(plan.shards)
         ]
 
         if inline:
             outcomes = [_run_payload(engine, payloads[0])]
+        elif self.transport == "socket":
+            outcomes = self._run_socket(payloads, dataset)
         else:
             context = multiprocessing.get_context(self.start_method)
             with context.Pool(
@@ -323,6 +371,90 @@ class ParallelRunner:
         report = self._merge(plan, outcomes)
         report.wall_seconds = time.perf_counter() - started
         return report
+
+    # -- socket shard fan-out ----------------------------------------------------
+
+    def _run_socket(
+        self, payloads: Sequence[_ShardPayload], dataset: Any
+    ) -> List[_ShardOutcome]:
+        """Ship shard payloads to worker processes over loopback TCP.
+
+        The parent opens one listening socket; every worker process
+        connects back, receives its pickled payload (dataset included —
+        nothing is shared through fork-inherited state or pipes), executes
+        the shard, and returns the pickled outcome over the same
+        connection.  Workers are matched to payloads by arrival order —
+        payloads carry their ``shard_index``, so the merge stays
+        deterministic no matter which worker connects first.
+
+        Accepting new connections and draining finished workers' outcomes
+        are multiplexed through one selector loop: a fast worker's outcome
+        is read while slower workers are still connecting (so a sender
+        never blocks on a full socket buffer waiting for the parent), and
+        a worker that dies before connecting back (bootstrap failure, OOM
+        kill) fails the run instead of hanging it — once every exited
+        process is accounted for by a served connection, an extra death
+        means a connection that will never come.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        outcomes: List[_ShardOutcome] = []
+        processes: List[Any] = []
+        connections: List[socket.socket] = []
+        try:
+            with socket.create_server(("127.0.0.1", 0)) as server:
+                host, port = server.getsockname()[:2]
+                processes = [
+                    context.Process(target=_socket_shard_worker, args=(host, port))
+                    for _ in payloads
+                ]
+                for process in processes:
+                    process.start()
+                with selectors.DefaultSelector() as selector:
+                    selector.register(server, selectors.EVENT_READ)
+                    while len(outcomes) < len(payloads):
+                        events = selector.select(timeout=0.5)
+                        if not events:
+                            dead = sum(1 for p in processes if p.exitcode is not None)
+                            if dead > len(connections):
+                                raise RuntimeError(
+                                    "socket shard worker exited before "
+                                    "connecting back (see worker stderr)"
+                                )
+                            continue
+                        for key, _ in events:
+                            if key.fileobj is server:
+                                conn, _ = server.accept()
+                                conn.settimeout(None)  # shards take a while
+                                send_frame(
+                                    conn,
+                                    pickle.dumps(
+                                        replace(
+                                            payloads[len(connections)],
+                                            dataset=dataset,
+                                        )
+                                    ),
+                                )
+                                connections.append(conn)
+                                selector.register(conn, selectors.EVENT_READ)
+                            else:
+                                conn = key.fileobj
+                                selector.unregister(conn)
+                                frame = recv_frame(conn)
+                                if frame is None:
+                                    raise RuntimeError(
+                                        "socket shard worker exited without "
+                                        "returning an outcome"
+                                    )
+                                outcomes.append(pickle.loads(frame))
+        finally:
+            for conn in connections:
+                conn.close()
+            # The server and every accepted connection are closed by now,
+            # so a worker still blocked on its socket sees EOF/reset and
+            # exits — joining here cannot deadlock on the error path.
+            for process in processes:
+                process.join()
+        return outcomes
 
     # -- deterministic merge -----------------------------------------------------
 

@@ -9,6 +9,7 @@ from repro.analysis.experiments import (
     experiment_fig6b_utility,
     experiment_fig6c_cost,
     experiment_fig6d_grid_interaction,
+    experiment_session_reuse,
     experiment_table1_bandwidth,
     sample_market_windows,
 )
@@ -73,6 +74,21 @@ def test_fig5_runtime_experiment_tiny():
     # Pipelined crypto: runtime is (nearly) key-size independent.
     by_key = {obs.key_size: obs.average_window_seconds for obs in observations}
     assert by_key[2048] / by_key[512] < 1.25
+
+
+def test_session_reuse_experiment_tiny():
+    obs = experiment_session_reuse(
+        home_count=10, sample_count=3, worker_counts=(2,)
+    )
+    assert obs.windows_executed == 3
+    assert obs.economics_identical
+    assert obs.session_reuse_speedup > 1.5
+    assert obs.day_scope_day_seconds < obs.window_scope_day_seconds
+    assert obs.day_scope_gc_offline_seconds < obs.window_scope_gc_offline_seconds
+    assert obs.sessions_established == 2  # once per session pair per day
+    assert obs.sessions_reused == 2 * (obs.windows_executed - 1)
+    assert obs.day_scope_identical_by_workers == {2: True}
+    assert obs.socket_transport_identical
 
 
 def test_table1_bandwidth_experiment_tiny():

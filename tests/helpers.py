@@ -87,9 +87,17 @@ def tiny_dataset(home_count: int = 12, window_count: int = 720, seed: int = 9):
 
 
 def tiny_market(
-    key_size: int = TEST_KEY_SIZE, key_pool_size: int = 4, seed: int = 21
+    key_size: int = TEST_KEY_SIZE,
+    key_pool_size: int = 4,
+    seed: int = 21,
+    session_scope: str = "window",
+    transport: str = "local",
 ) -> TinyMarket:
-    """The canonical tiny market used by the runtime determinism suites."""
+    """The canonical tiny market used by the runtime determinism suites.
+
+    ``session_scope`` / ``transport`` select the Session-API and transport
+    variants of the same market (defaults are the seed behavior).
+    """
 
     def build() -> PrivateTradingEngine:
         return PrivateTradingEngine(
@@ -101,6 +109,8 @@ def tiny_market(
                 # Small kappa keeps the per-engine base-OT session cheap;
                 # the extension math is identical at any kappa.
                 ot_extension_kappa=TEST_KAPPA,
+                session_scope=session_scope,
+                transport=transport,
             ),
         )
 

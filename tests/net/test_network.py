@@ -57,6 +57,37 @@ def test_receive_filtered_by_kind():
     assert bob.pending_count() == 1
 
 
+def test_receive_filtered_preserves_residual_order():
+    network = make_network()
+    alice = network.register("alice")
+    bob = network.register("bob")
+    kinds = [
+        MessageKind.GENERIC,
+        MessageKind.PAYMENT,
+        MessageKind.GENERIC,
+        MessageKind.ENERGY_ROUTE,
+        MessageKind.PAYMENT,
+    ]
+    for index, kind in enumerate(kinds):
+        alice.send("bob", kind, payload=bytes([index]))
+    # Drain the two payments (kept-deque path), then everything else: the
+    # relative order of unmatched messages must be untouched.
+    assert bob.receive(MessageKind.PAYMENT).payload == bytes([1])
+    assert bob.receive(MessageKind.PAYMENT).payload == bytes([4])
+    assert [m.payload for m in bob.receive_all()] == [bytes([0]), bytes([2]), bytes([3])]
+
+
+def test_receive_filtered_miss_keeps_inbox():
+    network = make_network()
+    alice = network.register("alice")
+    bob = network.register("bob")
+    alice.send("bob", MessageKind.GENERIC, payload=b"x")
+    with pytest.raises(NetworkError):
+        bob.receive(MessageKind.PAYMENT)
+    assert bob.pending_count() == 1
+    assert bob.receive().payload == b"x"
+
+
 def test_receive_empty_inbox_raises():
     network = make_network()
     alice = network.register("alice")

@@ -1,0 +1,182 @@
+"""Transport conformance suite: every transport must behave identically.
+
+Parametrized over :class:`LocalTransport` and :class:`SocketTransport`
+(and trivially extensible to future queue/remote transports): the network
+layer's observable behavior — delivery order, inbox discipline, error
+surface, message contents, recorded statistics — must not depend on the
+mechanism that physically moves the bytes.  This is the contract that
+makes ``transport="socket"`` runs bit-identical to in-process runs.
+"""
+
+import pytest
+
+from repro.net import (
+    LocalTransport,
+    MessageKind,
+    NetworkError,
+    SimulatedNetwork,
+    SocketTransport,
+    TransportError,
+    make_transport,
+)
+
+TRANSPORT_NAMES = ("local", "socket")
+
+
+@pytest.fixture(params=TRANSPORT_NAMES)
+def network(request):
+    net = SimulatedNetwork(transport=make_transport(request.param))
+    yield net
+    net.close()
+
+
+def test_make_transport_names():
+    assert isinstance(make_transport("local"), LocalTransport)
+    socket_transport = make_transport("socket")
+    try:
+        assert isinstance(socket_transport, SocketTransport)
+    finally:
+        socket_transport.close()
+    with pytest.raises(ValueError):
+        make_transport("carrier-pigeon")
+
+
+def test_delivery_order_preserved(network):
+    alice = network.register("alice")
+    bob = network.register("bob")
+    for i in range(8):
+        alice.send("bob", MessageKind.GENERIC, payload=bytes([i]))
+    received = [bob.receive().payload for _ in range(8)]
+    assert received == [bytes([i]) for i in range(8)]
+
+
+def test_inbox_discipline_kind_filtering(network):
+    alice = network.register("alice")
+    bob = network.register("bob")
+    alice.send("bob", MessageKind.GENERIC, payload=b"g1")
+    alice.send("bob", MessageKind.PAYMENT, metadata={"amount": 5})
+    alice.send("bob", MessageKind.GENERIC, payload=b"g2")
+
+    payment = bob.receive(MessageKind.PAYMENT)
+    assert payment.kind == MessageKind.PAYMENT
+    assert payment.metadata == {"amount": 5}
+    # The filtered pop must preserve the order of everything else.
+    assert [m.payload for m in bob.receive_all()] == [b"g1", b"g2"]
+
+
+def test_receive_missing_kind_leaves_inbox_intact(network):
+    alice = network.register("alice")
+    bob = network.register("bob")
+    alice.send("bob", MessageKind.GENERIC, payload=b"a")
+    alice.send("bob", MessageKind.GENERIC, payload=b"b")
+    with pytest.raises(NetworkError):
+        bob.receive(MessageKind.PAYMENT)
+    assert bob.pending_count() == 2
+    assert [m.payload for m in bob.receive_all()] == [b"a", b"b"]
+
+
+def test_unknown_recipient_raises_network_error(network):
+    alice = network.register("alice")
+    with pytest.raises(NetworkError):
+        alice.send("ghost", MessageKind.GENERIC)
+
+
+def test_unknown_sender_raises_network_error(network):
+    network.register("bob")
+    from repro.net import Message
+
+    message = Message(sender="ghost", recipient="bob", kind=MessageKind.GENERIC)
+    with pytest.raises(NetworkError):
+        network.deliver(message)
+
+
+def test_message_round_trip_is_byte_identical(network):
+    alice = network.register("alice")
+    bob = network.register("bob")
+    payload = bytes(range(256)) * 3
+    metadata = {"window": 42, "role": "seller", "values": [1, 2, 3]}
+    sent = alice.send("bob", MessageKind.MARKET_AGGREGATE, payload=payload, metadata=metadata)
+    received = bob.receive()
+    assert received.sender == sent.sender
+    assert received.recipient == sent.recipient
+    assert received.kind == sent.kind
+    assert received.payload == sent.payload
+    assert received.metadata == sent.metadata
+    assert received.message_id == sent.message_id
+    assert received.byte_size() == sent.byte_size()
+
+
+def _run_script(network):
+    """A fixed little traffic script; returns the final stats."""
+    alice = network.register("alice")
+    bob = network.register("bob")
+    carol = network.register("carol")
+    alice.broadcast(["bob", "carol"], MessageKind.ROLE_ANNOUNCE, metadata={"role": "seller"})
+    bob.send("alice", MessageKind.MARKET_AGGREGATE, payload=b"c" * 129)
+    carol.send("alice", MessageKind.PAYMENT, metadata={"amount": 7})
+    alice.receive(MessageKind.PAYMENT)
+    alice.receive_all()
+    return network.stats
+
+
+def test_statistics_identical_across_transports():
+    locals_stats = sockets_stats = None
+    for name in TRANSPORT_NAMES:
+        net = SimulatedNetwork(transport=make_transport(name))
+        try:
+            stats = _run_script(net)
+            if name == "local":
+                locals_stats = stats
+            else:
+                sockets_stats = stats
+        finally:
+            net.close()
+    assert locals_stats.snapshot() == sockets_stats.snapshot()
+    assert locals_stats.total_messages == sockets_stats.total_messages
+    assert locals_stats.total_bytes == sockets_stats.total_bytes
+    assert dict(locals_stats.bytes_by_kind) == dict(sockets_stats.bytes_by_kind)
+
+
+def test_duplicate_registration_rejected_at_transport_level():
+    for name in TRANSPORT_NAMES:
+        transport = make_transport(name)
+        try:
+            transport.register("alice", lambda message: None)
+            with pytest.raises(TransportError):
+                transport.register("alice", lambda message: None)
+        finally:
+            transport.close()
+
+
+def test_transport_deliver_to_unregistered_endpoint():
+    from repro.net import Message
+
+    for name in TRANSPORT_NAMES:
+        transport = make_transport(name)
+        try:
+            message = Message(sender="a", recipient="nobody", kind=MessageKind.GENERIC)
+            with pytest.raises(TransportError):
+                transport.deliver(message)
+        finally:
+            transport.close()
+
+
+def test_close_is_idempotent():
+    for name in TRANSPORT_NAMES:
+        transport = make_transport(name)
+        transport.close()
+        transport.close()  # must not raise
+
+
+def test_socket_transport_rejects_delivery_after_close():
+    from repro.net import Message
+
+    transport = make_transport("socket")
+    received = []
+    transport.register("bob", received.append)
+    message = Message(sender="a", recipient="bob", kind=MessageKind.GENERIC)
+    transport.deliver(message)
+    assert len(received) == 1
+    transport.close()
+    with pytest.raises(TransportError):
+        transport.deliver(message)

@@ -1,0 +1,56 @@
+"""Socket-mode determinism: shard fan-out and message fabric over TCP.
+
+The runtime's socket mode ships :class:`ExecutionPlan` shards to worker
+processes over loopback TCP (length-prefixed pickled frames — the same
+wire format as the message-level ``SocketTransport``), and a
+socket-configured engine additionally routes every protocol message of
+every window through a real socket.  Both must reproduce the in-process
+baseline bit for bit (``RunReport.identical_to``); only host wall-clock
+may differ, which on the 1-core CI box is deliberately not asserted.
+"""
+
+import pytest
+
+import helpers
+from repro.runtime import ExecutionPlan, ParallelRunner
+
+
+def test_runner_rejects_unknown_transport():
+    plan = ExecutionPlan.for_windows(helpers.TINY_MARKET_WINDOWS, 2)
+    with pytest.raises(ValueError):
+        ParallelRunner(plan, transport="pigeon")
+
+
+def test_socket_shard_fanout_is_bit_identical():
+    market = helpers.tiny_market()
+    baseline = helpers.tiny_market_serial_report()
+    sharded = market.engine().run_windows_report(
+        market.dataset, market.windows, workers=2, runner_transport="socket"
+    )
+    assert sharded.plan.workers == 2
+    assert baseline.identical_to(sharded)
+
+
+def test_socket_message_fabric_is_bit_identical():
+    market = helpers.tiny_market(transport="socket")
+    baseline = helpers.tiny_market_serial_report()
+    # config.transport="socket" routes every protocol message over TCP
+    # *and* defaults the shard fan-out to sockets.
+    over_socket = market.engine().run_windows_report(
+        market.dataset, market.windows, workers=1
+    )
+    assert baseline.identical_to(over_socket)
+
+
+def test_socket_everything_day_scope():
+    # The full stack at once: day-scoped sessions, socket message fabric,
+    # socket shard fan-out — against the local day-scoped serial run.
+    local = helpers.tiny_market(session_scope="day")
+    baseline = local.engine().run_windows_report(
+        local.dataset, local.windows, workers=1
+    )
+    market = helpers.tiny_market(session_scope="day", transport="socket")
+    sharded = market.engine().run_windows_report(
+        market.dataset, market.windows, workers=2
+    )
+    assert baseline.identical_to(sharded)
