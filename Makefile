@@ -17,9 +17,9 @@
 #                      committed BENCH_crypto.json is left untouched),
 #                      then a tiny day-scoped trading day executed over
 #                      SocketTransport (messages + shard fan-out on real
-#                      loopback TCP); the bench and the socket day both
-#                      exit non-zero on any identity or determinism
-#                      regression
+#                      loopback TCP), then the same day under half-gates
+#                      garbling; the bench and both day runs exit
+#                      non-zero on any identity or determinism regression
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -44,3 +44,5 @@ ci: test-fast docs-check
 		--output $(or $(CI_BENCH_OUTPUT),/tmp/BENCH_crypto.ci.json)
 	$(PYTHON) examples/parallel_private_day.py --homes 8 --windows 2 --workers 2 \
 		--session-scope day --transport socket
+	$(PYTHON) examples/parallel_private_day.py --homes 8 --windows 2 --workers 2 \
+		--garbling-scheme halfgates

@@ -14,6 +14,21 @@ pre-acceleration baseline so the perf trajectory is tracked PR over PR:
   time, plus an outcome-identity certificate (the pooled path must agree
   with the classic path and the plaintext comparison on random operands;
   the script exits non-zero otherwise),
+* ``garbling``: the pluggable garbling schemes compared head to head —
+  per-instance garbled-table bytes and measured garble wall-clock for
+  ``classic`` (point-and-permute, the seed-identical default) vs.
+  ``halfgates`` (free-XOR + two-row AND gates), the lowered-circuit gate
+  histograms behind the free-gate claim, an outcome-identity certificate
+  (both schemes must agree with the plaintext comparison on random
+  operands; labels and tables necessarily differ), and a sharding
+  certificate (each scheme's sampled day stays bit-identical at workers
+  1/2/4 and the schemes stay *economically* identical to each other),
+* ``multiexp``: the multi-exponentiation toolbox certified against the
+  builtin ``pow`` oracle — fixed-window, fixed-base comb (the Protocol 4
+  ratio-phase shape: one base, many small exponents) and Straus
+  simultaneous exponentiation, plus the identity of the active bigint
+  backend (pure Python in this container; gmpy2 is picked up
+  automatically when present),
 * ``parallel_runner``: a Fig. 5-style sampled day executed serially and
   sharded across ``--workers`` processes — certifies the sharded run is
   bit-identical and records the day-runtime speedup on both the simulated
@@ -82,6 +97,32 @@ SPEEDUP_PAIRS = {
 COMPARISON_BIT_WIDTHS = (32, 64)
 #: random operand pairs per width for the outcome-identity certificate.
 COMPARISON_SAMPLES = 24
+
+#: garbling schemes compared head to head by the ``garbling`` section.
+GARBLING_SCHEMES_COMPARED = ("classic", "halfgates")
+#: repeated garbles per (width, scheme) behind the wall-clock ratio.
+GARBLING_TIMING_ROUNDS = 40
+#: random operand pairs per width for the cross-scheme outcome certificate.
+GARBLING_SAMPLES = 16
+#: (home_count, sampled windows) per scale for the scheme-invariance day.
+GARBLING_DAY_SCALES = {
+    "smoke": (8, 2),
+    "quick": (10, 3),
+    "default": (12, 4),
+    "full": (16, 6),
+}
+#: worker counts of the per-scheme sharding certificate.
+GARBLING_WORKER_COUNTS = (1, 2, 4)
+
+#: modulus size of the multiexp certificates (Paillier n² at the 256-bit
+#: bench key size is 1024 bits; 512 keeps the oracle comparisons fast).
+MULTIEXP_MODULUS_BITS = 512
+#: small-exponent batch shape of the fixed-base comb certificate — the
+#: Protocol 4 ratio phase raises ONE ciphertext to many small multipliers.
+MULTIEXP_SMALL_EXPONENT_BITS = 64
+MULTIEXP_BATCH = 16
+#: bases per Straus simultaneous-exponentiation certificate.
+MULTIEXP_SIMULTANEOUS_BASES = 8
 
 #: requester counts covered by the ``aggregation_topology`` section.
 TOPOLOGY_REQUESTER_COUNTS = (8, 32, 128)
@@ -219,6 +260,226 @@ def run_comparison_section(benches: dict) -> dict:
             )
         section[param] = entry
     return section
+
+
+def run_garbling_section(scale: str) -> dict:
+    """Build the ``garbling`` report section.
+
+    Per comparator width both schemes lower + garble the same circuit:
+    ``table_bytes`` comes from the wire-format ``serialized_size`` (free
+    gates ship nothing under halfgates), ``garble_wall_seconds`` is a
+    measured mean over repeated garbles, and the gate histograms document
+    how much of the lowered circuit is XOR-family (free).  Certificates:
+
+    * **outcomes** — fresh pools of both schemes must agree with the
+      plaintext comparison on random operands (labels and tables
+      necessarily differ between schemes; the *outcome* is the invariant);
+    * **sharding** — each scheme's sampled trading day must stay
+      bit-identical across worker counts, and the schemes must stay
+      economically identical to each other (same trades and prices —
+      byte-level identity across schemes is impossible since halfgates
+      ships fewer table bytes).
+    """
+    import random
+    import time
+
+    from repro.analysis.experiments import experiment_scheme_shard_invariance
+    from repro.crypto.circuits import build_greater_than_circuit
+    from repro.crypto.garbled import get_scheme
+    from repro.crypto.gc_pool import ComparisonPool
+
+    widths_section: dict = {}
+    for bit_width in COMPARISON_BIT_WIDTHS:
+        base = build_greater_than_circuit(bit_width)
+        per_scheme: dict = {}
+        for name in GARBLING_SCHEMES_COMPARED:
+            scheme = get_scheme(name)
+            circuit = scheme.lower(base)
+            rng = random.Random(bit_width)
+            scheme.garble(circuit, rng=rng)  # warm-up (hash setup, caches)
+            start = time.perf_counter()
+            for _ in range(GARBLING_TIMING_ROUNDS):
+                out = scheme.garble(circuit, rng=rng)
+            garble_seconds = (time.perf_counter() - start) / GARBLING_TIMING_ROUNDS
+            per_scheme[name] = {
+                "table_bytes": out.garbled.serialized_size(),
+                "garble_wall_seconds": round(garble_seconds, 9),
+                "and_gate_count": circuit.and_gate_count,
+                "gate_histogram": circuit.gate_histogram(),
+            }
+
+        pools = {
+            name: ComparisonPool(bit_width, scheme=name)
+            for name in GARBLING_SCHEMES_COMPARED
+        }
+        for pool in pools.values():
+            pool.warm(GARBLING_SAMPLES)
+        rng = random.Random(bit_width * 6151)
+        matches = True
+        for _ in range(GARBLING_SAMPLES):
+            a = rng.randrange(0, 1 << bit_width)
+            b = rng.randrange(0, 1 << bit_width)
+            for pool in pools.values():
+                if pool.take().evaluate(a, b).result != (a > b):
+                    matches = False
+        classic = per_scheme["classic"]
+        halfgates = per_scheme["halfgates"]
+        widths_section[str(bit_width)] = dict(
+            per_scheme,
+            original_gate_histogram=base.gate_histogram(),
+            outcomes_match=matches,
+            samples=GARBLING_SAMPLES,
+            table_bytes_reduction=round(
+                classic["table_bytes"] / halfgates["table_bytes"], 2
+            ),
+            garble_time_reduction=round(
+                classic["garble_wall_seconds"] / halfgates["garble_wall_seconds"], 2
+            ),
+        )
+
+    home_count, sample_count = GARBLING_DAY_SCALES[scale]
+    invariance = experiment_scheme_shard_invariance(
+        schemes=GARBLING_SCHEMES_COMPARED,
+        worker_counts=GARBLING_WORKER_COUNTS,
+        home_count=home_count,
+        sample_count=sample_count,
+    )
+    shard_section = {
+        result.scheme: {
+            "windows_executed": result.windows_executed,
+            "gc_fallbacks": result.gc_fallbacks,
+            "gc_offline_seconds": round(result.gc_offline_seconds, 6),
+            "garbled_traffic_bytes": result.garbled_traffic_bytes,
+            "identical": {
+                str(workers): ok for workers, ok in result.identical_by_workers.items()
+            },
+        }
+        for result in invariance.per_scheme
+    }
+    return {
+        "widths": widths_section,
+        "shard_invariance": shard_section,
+        "economics_identical_across_schemes": (
+            invariance.economics_identical_across_schemes
+        ),
+    }
+
+
+def run_multiexp_section() -> dict:
+    """Build the ``multiexp`` report section.
+
+    Every primitive is certified against the builtin ``pow`` oracle (the
+    ``matches_pow`` flags — the script exits non-zero if any is false) and
+    timed against it.  The speedups are *recorded, not gated*: pure-Python
+    windowing cannot beat the C builtin on a single exponentiation — the
+    wins come from amortization (the fixed-base comb squares zero times
+    per exponentiation) and from a faster bigint backend when one is
+    installed, which is why the active backend's identity is part of the
+    report.
+    """
+    import random
+    import time
+
+    from repro.crypto.accel import (
+        FixedBaseTable,
+        backend,
+        fixed_window_powmod,
+        simultaneous_powmod,
+    )
+
+    rng = random.Random(0xC0FFEE)
+    modulus = rng.getrandbits(MULTIEXP_MODULUS_BITS) | (
+        1 << (MULTIEXP_MODULUS_BITS - 1)
+    ) | 1
+    base = rng.randrange(2, modulus)
+
+    def timed(thunk):
+        start = time.perf_counter()
+        result = thunk()
+        return result, time.perf_counter() - start
+
+    # Fixed-window vs. pow on full-width exponents.
+    wide_exponents = [rng.getrandbits(MULTIEXP_MODULUS_BITS) for _ in range(4)]
+    oracle, pow_seconds = timed(
+        lambda: [pow(base, e, modulus) for e in wide_exponents]
+    )
+    windowed, window_seconds = timed(
+        lambda: [fixed_window_powmod(base, e, modulus) for e in wide_exponents]
+    )
+    fixed_window_entry = {
+        "matches_pow": windowed == oracle,
+        "exponent_bits": MULTIEXP_MODULUS_BITS,
+        "batch": len(wide_exponents),
+        "pow_seconds": round(pow_seconds, 9),
+        "seconds": round(window_seconds, 9),
+        "speedup_vs_pow": round(pow_seconds / window_seconds, 2)
+        if window_seconds > 0
+        else None,
+    }
+
+    # Fixed-base comb, amortized over a batch of small exponents (the
+    # Protocol 4 ratio-phase shape).  The table build is charged to the
+    # batch: the certificate times build + every exponentiation.
+    small_exponents = [
+        rng.getrandbits(MULTIEXP_SMALL_EXPONENT_BITS) for _ in range(MULTIEXP_BATCH)
+    ]
+    oracle, pow_seconds = timed(
+        lambda: [pow(base, e, modulus) for e in small_exponents]
+    )
+
+    def comb_batch():
+        table = FixedBaseTable(
+            base, modulus, max_exponent_bits=MULTIEXP_SMALL_EXPONENT_BITS
+        )
+        return [table.powmod(e) for e in small_exponents]
+
+    combed, comb_seconds = timed(comb_batch)
+    fixed_base_entry = {
+        "matches_pow": combed == oracle,
+        "exponent_bits": MULTIEXP_SMALL_EXPONENT_BITS,
+        "batch": MULTIEXP_BATCH,
+        "pow_seconds": round(pow_seconds, 9),
+        "seconds": round(comb_seconds, 9),
+        "speedup_vs_pow": round(pow_seconds / comb_seconds, 2)
+        if comb_seconds > 0
+        else None,
+    }
+
+    # Straus simultaneous exponentiation vs. a product of pows.
+    bases = [rng.randrange(2, modulus) for _ in range(MULTIEXP_SIMULTANEOUS_BASES)]
+    exponents = [
+        rng.getrandbits(MULTIEXP_MODULUS_BITS // 2)
+        for _ in range(MULTIEXP_SIMULTANEOUS_BASES)
+    ]
+
+    def pow_product():
+        product = 1
+        for b, e in zip(bases, exponents):
+            product = product * pow(b, e, modulus) % modulus
+        return product
+
+    oracle_product, pow_seconds = timed(pow_product)
+    simultaneous, straus_seconds = timed(
+        lambda: simultaneous_powmod(bases, exponents, modulus)
+    )
+    simultaneous_entry = {
+        "matches_pow": simultaneous == oracle_product,
+        "exponent_bits": MULTIEXP_MODULUS_BITS // 2,
+        "bases": MULTIEXP_SIMULTANEOUS_BASES,
+        "pow_seconds": round(pow_seconds, 9),
+        "seconds": round(straus_seconds, 9),
+        "speedup_vs_pow": round(pow_seconds / straus_seconds, 2)
+        if straus_seconds > 0
+        else None,
+    }
+
+    return {
+        "backend": backend().name,
+        "modulus_bits": MULTIEXP_MODULUS_BITS,
+        "fixed_window": fixed_window_entry,
+        "fixed_base_comb": fixed_base_entry,
+        "simultaneous": simultaneous_entry,
+    }
 
 
 def run_topology_section() -> dict:
@@ -385,6 +646,10 @@ def main() -> int:
     report = distill(raw, args.scale)
     print("running the comparison outcome-identity check ...")
     report["comparison"] = run_comparison_section(report["benchmarks"])
+    print("running the garbling-scheme comparison (classic vs. halfgates) ...")
+    report["garbling"] = run_garbling_section(args.scale)
+    print("running the multi-exponentiation oracle certificates ...")
+    report["multiexp"] = run_multiexp_section()
     print("running the aggregation-topology sweep + identity/sharding certificates ...")
     report["aggregation_topology"] = run_topology_section()
     print("running the session-reuse day (window vs. day scope, socket transport) ...")
@@ -416,6 +681,58 @@ def main() -> int:
             print(
                 f"ERROR: pooled comparison outcomes diverged from the classic "
                 f"path / plaintext at {param} bits — correctness regression",
+                file=sys.stderr,
+            )
+            failed = True
+    garbling = report["garbling"]
+    for width, entry in sorted(
+        garbling["widths"].items(), key=lambda item: int(item[0])
+    ):
+        print(
+            f"  garbling[{width}b]: {entry['table_bytes_reduction']}x table bytes, "
+            f"{entry['garble_time_reduction']}x garble wall-clock "
+            f"(halfgates vs. classic), outcomes_match={entry['outcomes_match']}"
+        )
+        if not entry["outcomes_match"]:
+            print(
+                f"ERROR: classic and halfgates outcomes diverged from the "
+                f"plaintext comparison at {width} bits — correctness regression",
+                file=sys.stderr,
+            )
+            failed = True
+    for name, cert in sorted(garbling["shard_invariance"].items()):
+        flags = cert["identical"]
+        print(
+            f"  garbling[{name}]: shard-invariant at workers "
+            + "/".join(sorted(flags, key=int))
+            + f" = {all(flags.values())}, gc_fallbacks={cert['gc_fallbacks']}"
+        )
+        if not all(flags.values()):
+            print(
+                f"ERROR: {name}-scheme day diverged under sharding "
+                f"({flags}) — determinism regression",
+                file=sys.stderr,
+            )
+            failed = True
+    if not garbling["economics_identical_across_schemes"]:
+        print(
+            "ERROR: classic and halfgates days diverged economically — "
+            "the garbling scheme changed trades or prices",
+            file=sys.stderr,
+        )
+        failed = True
+    multiexp = report["multiexp"]
+    for name in ("fixed_window", "fixed_base_comb", "simultaneous"):
+        entry = multiexp[name]
+        print(
+            f"  multiexp[{name}]: matches_pow={entry['matches_pow']}, "
+            f"{entry['speedup_vs_pow']}x vs. builtin pow "
+            f"(backend={multiexp['backend']})"
+        )
+        if not entry["matches_pow"]:
+            print(
+                f"ERROR: {name} diverged from the builtin pow oracle — "
+                "correctness regression",
                 file=sys.stderr,
             )
             failed = True

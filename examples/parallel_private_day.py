@@ -11,15 +11,19 @@ machine's real core count).
 
 The deployment knobs of the Session API ride along: ``--session-scope day``
 establishes the protocol sessions once per day (amortizing the fixed 0.5 s
-setup and the base-OT session across windows), and ``--transport socket``
+setup and the base-OT session across windows), ``--transport socket``
 routes every protocol message over real loopback TCP *and* fans the shards
-out to the workers over sockets — both bit-identical to the defaults.
+out to the workers over sockets, and ``--garbling-scheme halfgates``
+prepares the secure comparisons under free-XOR + half-gates garbling
+(fewer table bytes, faster offline garbling) — all bit-identical or
+outcome-identical to the defaults.
 
 Run with:  python examples/parallel_private_day.py [--homes N] [--windows K]
                                                    [--workers W]
                                                    [--strategy stride|contiguous]
                                                    [--session-scope window|day]
                                                    [--transport local|socket]
+                                                   [--garbling-scheme classic|halfgates]
                                                    [--background-refill]
 """
 
@@ -33,7 +37,11 @@ from repro.data import TraceConfig, generate_dataset
 from repro.runtime import ExecutionPlan
 
 
-def build_engine(session_scope: str = "window", transport: str = "local") -> PrivateTradingEngine:
+def build_engine(
+    session_scope: str = "window",
+    transport: str = "local",
+    garbling_scheme: str = "classic",
+) -> PrivateTradingEngine:
     return PrivateTradingEngine(
         params=PAPER_PARAMETERS,
         config=ProtocolConfig(
@@ -42,6 +50,7 @@ def build_engine(session_scope: str = "window", transport: str = "local") -> Pri
             seed=7,
             session_scope=session_scope,
             transport=transport,
+            garbling_scheme=garbling_scheme,
         ),
     )
 
@@ -64,6 +73,10 @@ def main() -> None:
         help="message fabric + shard fan-out (socket = real loopback TCP)",
     )
     parser.add_argument(
+        "--garbling-scheme", choices=("classic", "halfgates"), default="classic",
+        help="garbled-comparison scheme (halfgates = free-XOR + 2-row ANDs)",
+    )
+    parser.add_argument(
         "--background-refill", action="store_true",
         help="stock randomizer-pool reservoirs from a background thread",
     )
@@ -77,12 +90,17 @@ def main() -> None:
     plan = ExecutionPlan.for_windows(windows, args.workers, strategy=args.strategy)
     print(f"Execution plan: {plan.describe()}")
 
-    print(f"Serial run (sessions: {args.session_scope}, transport: {args.transport}) ...")
-    serial = build_engine(args.session_scope, args.transport).run_windows_report(
-        dataset, windows, workers=1
+    print(
+        f"Serial run (sessions: {args.session_scope}, transport: {args.transport}, "
+        f"garbling: {args.garbling_scheme}) ..."
     )
+    serial = build_engine(
+        args.session_scope, args.transport, args.garbling_scheme
+    ).run_windows_report(dataset, windows, workers=1)
     print(f"Sharded run ({plan.workers} workers) ...")
-    parallel = build_engine(args.session_scope, args.transport).run_windows_report(
+    parallel = build_engine(
+        args.session_scope, args.transport, args.garbling_scheme
+    ).run_windows_report(
         dataset,
         windows,
         workers=args.workers,

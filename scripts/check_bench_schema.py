@@ -13,6 +13,18 @@ a regenerated file honest:
 * the ``comparison`` section (added with the offline garbled-comparison
   pipeline) must exist, certify ``outcomes_match`` per bit width, and show
   an online simulated-seconds reduction of at least the documented 3x;
+* the ``garbling`` section (added with the pluggable garbling schemes)
+  must exist, certify ``outcomes_match`` per bit width and per-scheme
+  shard invariance at workers 1/2/4 plus cross-scheme economic identity,
+  and show halfgates beating classic by at least 1.8x on garbled-table
+  bytes and 1.5x on measured garble wall-clock (the measured values are
+  ~2.6x and ~2x);
+* the ``multiexp`` section (added with the multi-exponentiation toolbox)
+  must exist, certify ``matches_pow`` for every primitive against the
+  builtin ``pow`` oracle, and name the active bigint backend — speedups
+  are recorded but deliberately not gated (pure-Python windowing cannot
+  beat the C builtin on one exponentiation; the wins are amortization
+  and, when installed, a faster backend);
 * the ``aggregation_topology`` section (added with the topology
   subsystem) must exist, certify ``sums_identical`` per requester count
   and shard invariance per topology at workers 1/2/4, and show the
@@ -80,6 +92,39 @@ _SESSION_REQUIRED = (
     "socket_transport_identical",
 )
 
+#: Minimum halfgates-vs-classic garbled-table-bytes reduction (the
+#: asymptotic value for the lowered comparator is ~2.7x; 1.8x is the
+#: conservative acceptance floor).
+MIN_TABLE_BYTES_REDUCTION = 1.8
+
+#: Minimum halfgates-vs-classic measured garble wall-clock reduction
+#: (free gates hash nothing; the measured value is ~2x).
+MIN_GARBLE_TIME_REDUCTION = 1.5
+
+_GARBLING_SCHEME_REQUIRED = (
+    "table_bytes",
+    "garble_wall_seconds",
+    "and_gate_count",
+    "gate_histogram",
+)
+
+_GARBLING_WIDTH_REQUIRED = (
+    "outcomes_match",
+    "samples",
+    "original_gate_histogram",
+    "table_bytes_reduction",
+    "garble_time_reduction",
+)
+
+_MULTIEXP_PRIMITIVES = ("fixed_window", "fixed_base_comb", "simultaneous")
+
+_MULTIEXP_ENTRY_REQUIRED = (
+    "matches_pow",
+    "pow_seconds",
+    "seconds",
+    "speedup_vs_pow",
+)
+
 _COMPARISON_REQUIRED = (
     "and_gate_count",
     "ot_count",
@@ -135,6 +180,89 @@ def _check_comparison(report: dict, problems: list) -> None:
                 f"comparison[{bit_width!r}] online reduction {reduction!r} is below "
                 f"the documented {MIN_COMPARISON_REDUCTION}x floor"
             )
+
+
+def _check_garbling(report: dict, problems: list) -> None:
+    section = report.get("garbling")
+    if not isinstance(section, dict) or not section:
+        problems.append("missing or empty 'garbling' section")
+        return
+    widths = section.get("widths")
+    if not isinstance(widths, dict) or not widths:
+        problems.append("garbling lacks a non-empty 'widths' mapping")
+    else:
+        for bit_width, entry in widths.items():
+            prefix = f"garbling.widths[{bit_width!r}]"
+            for key in _GARBLING_WIDTH_REQUIRED:
+                if key not in entry:
+                    problems.append(f"{prefix} lacks {key!r}")
+            for scheme in ("classic", "halfgates"):
+                per_scheme = entry.get(scheme)
+                if not isinstance(per_scheme, dict):
+                    problems.append(f"{prefix} lacks the {scheme!r} scheme entry")
+                    continue
+                for key in _GARBLING_SCHEME_REQUIRED:
+                    if key not in per_scheme:
+                        problems.append(f"{prefix}[{scheme!r}] lacks {key!r}")
+            if entry.get("outcomes_match") is not True:
+                problems.append(f"{prefix}.outcomes_match is not true")
+            bytes_reduction = entry.get("table_bytes_reduction", 0.0)
+            if (
+                not isinstance(bytes_reduction, (int, float))
+                or bytes_reduction < MIN_TABLE_BYTES_REDUCTION
+            ):
+                problems.append(
+                    f"{prefix} table-bytes reduction {bytes_reduction!r} is below "
+                    f"the documented {MIN_TABLE_BYTES_REDUCTION}x floor"
+                )
+            time_reduction = entry.get("garble_time_reduction", 0.0)
+            if (
+                not isinstance(time_reduction, (int, float))
+                or time_reduction < MIN_GARBLE_TIME_REDUCTION
+            ):
+                problems.append(
+                    f"{prefix} garble-time reduction {time_reduction!r} is below "
+                    f"the documented {MIN_GARBLE_TIME_REDUCTION}x floor"
+                )
+    invariance = section.get("shard_invariance")
+    if not isinstance(invariance, dict) or not invariance:
+        problems.append("garbling lacks a non-empty 'shard_invariance' mapping")
+    else:
+        for scheme, cert in invariance.items():
+            identical = cert.get("identical")
+            if not isinstance(identical, dict) or not identical:
+                problems.append(
+                    f"garbling.shard_invariance[{scheme!r}] lacks the "
+                    f"per-worker 'identical' mapping"
+                )
+                continue
+            for workers, ok in identical.items():
+                if ok is not True:
+                    problems.append(
+                        f"garbling.shard_invariance[{scheme!r}] is not "
+                        f"identical at workers={workers}"
+                    )
+    if section.get("economics_identical_across_schemes") is not True:
+        problems.append("garbling.economics_identical_across_schemes is not true")
+
+
+def _check_multiexp(report: dict, problems: list) -> None:
+    section = report.get("multiexp")
+    if not isinstance(section, dict) or not section:
+        problems.append("missing or empty 'multiexp' section")
+        return
+    if not isinstance(section.get("backend"), str) or not section.get("backend"):
+        problems.append("multiexp lacks a non-empty 'backend' identity string")
+    for name in _MULTIEXP_PRIMITIVES:
+        entry = section.get(name)
+        if not isinstance(entry, dict):
+            problems.append(f"multiexp lacks the {name!r} primitive entry")
+            continue
+        for key in _MULTIEXP_ENTRY_REQUIRED:
+            if key not in entry:
+                problems.append(f"multiexp[{name!r}] lacks {key!r}")
+        if entry.get("matches_pow") is not True:
+            problems.append(f"multiexp[{name!r}].matches_pow is not true")
 
 
 def _check_aggregation_topology(report: dict, problems: list) -> None:
@@ -232,6 +360,8 @@ def validate(path: Path = BENCH_PATH) -> list:
     _check_benchmarks(report, problems)
     _check_parallel(report, problems)
     _check_comparison(report, problems)
+    _check_garbling(report, problems)
+    _check_multiexp(report, problems)
     _check_aggregation_topology(report, problems)
     _check_session_reuse(report, problems)
     return problems

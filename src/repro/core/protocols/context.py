@@ -142,6 +142,15 @@ class ProtocolConfig:
             ``"local"`` (synchronous in-process delivery) or ``"socket"``
             (length-prefixed loopback TCP).  Bit-identical results and
             statistics by construction; see :mod:`repro.net.transport`.
+        garbling_scheme: the garbling scheme comparison pools prepare
+            instances under — ``"classic"`` (the seed's point-and-permute
+            path, four rows per binary gate, bit-identical to the pre-seam
+            behavior) or ``"halfgates"`` (free-XOR labels + two-row
+            half-gate AND tables over the lowered comparator, shrinking
+            offline garbling time and garbled-table wire bytes).
+            Comparison *outcomes* are identical across schemes on identical
+            inputs; labels and table bytes necessarily differ.  The classic
+            inline fallback of a drained pool is scheme-independent.
     """
 
     key_size: int = 512
@@ -158,6 +167,7 @@ class ProtocolConfig:
     aggregation_topology: str = "chain"
     session_scope: str = "window"
     transport: str = "local"
+    garbling_scheme: str = "classic"
 
 
 def _derived_rng(seed: int, *labels: object) -> random.Random:
@@ -273,7 +283,11 @@ class KeyRing:
         """Return the (long-lived) prepared-comparison pool for one width."""
         pool = self._comparison_pools.get(bit_width)
         if pool is None:
-            pool = ComparisonPool(bit_width, kappa=self._config.ot_extension_kappa)
+            pool = ComparisonPool(
+                bit_width,
+                kappa=self._config.ot_extension_kappa,
+                scheme=self._config.garbling_scheme,
+            )
             self._comparison_pools[bit_width] = pool
         return pool
 

@@ -8,22 +8,35 @@ Python standard library:
   cryptosystem (keygen, CRT-accelerated encrypt/decrypt, homomorphic ops,
   serialization).
 * :mod:`repro.crypto.accel` — offline acceleration (precomputed randomizer
-  pools that make online encryption a single modular multiplication).
+  pools that make online encryption a single modular multiplication, plus
+  the fixed-window/fixed-base/simultaneous multi-exponentiation toolbox and
+  the feature-gated fast-bigint backend seam).
 * :mod:`repro.crypto.fixedpoint` — fixed-point encoding of reals for
   encryption.
 * :mod:`repro.crypto.circuits` — boolean circuit builders (comparator, adder).
 * :mod:`repro.crypto.ot` — 1-out-of-2 oblivious transfer (Bellare--Micali).
 * :mod:`repro.crypto.otext` — IKNP-style OT extension (constant base OTs,
   symmetric-key transfers thereafter).
-* :mod:`repro.crypto.garbled` — Yao garbled circuits with point-and-permute.
+* :mod:`repro.crypto.garbled` — Yao garbled circuits behind a pluggable
+  :class:`~repro.crypto.garbled.GarblingScheme` seam (classic
+  point-and-permute and free-XOR + half-gates).
 * :mod:`repro.crypto.gc_pool` — offline pools of prepared garbled
   comparisons (the garbled-circuit analogue of :mod:`repro.crypto.accel`).
 * :mod:`repro.crypto.secure_comparison` — the Fairplay-style secure
   comparison used by Private Market Evaluation.
 """
 
-from .accel import RandomizerPool, precompute_obfuscator
+from .accel import (
+    FixedBaseTable,
+    RandomizerPool,
+    backend,
+    fixed_window_powmod,
+    precompute_obfuscator,
+    set_backend,
+    simultaneous_powmod,
+)
 from .fixedpoint import DEFAULT_PRECISION, FixedPointCodec
+from .garbled import GARBLING_SCHEMES, GarblingScheme, get_scheme
 from .gc_pool import ComparisonPool, PreparedComparison
 from .paillier import (
     PaillierCiphertext,
@@ -53,6 +66,14 @@ __all__ = [
     "ComparisonPool",
     "PreparedComparison",
     "precompute_obfuscator",
+    "FixedBaseTable",
+    "fixed_window_powmod",
+    "simultaneous_powmod",
+    "backend",
+    "set_backend",
+    "GARBLING_SCHEMES",
+    "GarblingScheme",
+    "get_scheme",
     "generate_keypair",
     "homomorphic_sum",
     "generate_prime",

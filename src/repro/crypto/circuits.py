@@ -24,6 +24,7 @@ __all__ = [
     "CircuitBuilder",
     "build_greater_than_circuit",
     "build_adder_circuit",
+    "lower_to_xor_and",
     "int_to_bits",
     "bits_to_int",
 ]
@@ -118,6 +119,18 @@ class Circuit:
     def and_gate_count(self) -> int:
         """Number of AND/OR gates (the expensive ones under garbling)."""
         return sum(1 for g in self.gates if g.gate_type in (GateType.AND, GateType.OR))
+
+    def gate_histogram(self) -> Dict[str, int]:
+        """Gate counts by type, e.g. ``{"AND": 10, "XOR": 7, "NOT": 12}``.
+
+        Used by the bench to *measure* the free-XOR claim (what fraction of
+        the comparator is XOR-family and therefore table-free under
+        half-gates) instead of asserting it.
+        """
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.gate_type.value] = counts.get(gate.gate_type.value, 0) + 1
+        return counts
 
 
 class CircuitBuilder:
@@ -247,6 +260,48 @@ def build_adder_circuit(bit_width: int) -> Circuit:
             carry_from_partial = builder.gate_and(partial, carry)
             carry = builder.gate_or(carry_from_ab, carry_from_partial)
     return builder.build(outputs)
+
+
+def lower_to_xor_and(circuit: Circuit) -> Circuit:
+    """Rewrite every OR gate as ``(a XOR b) XOR (a AND b)``.
+
+    Free-XOR garbling schemes only know how to garble XOR/AND/NOT, so OR
+    gates are lowered before garbling.  The rewrite is exact (``a OR b ==
+    (a XOR b) XOR (a AND b)``), allocates fresh intermediate wires past
+    ``wire_count`` and keeps the original output wire of each OR, so
+    downstream gate references and ``output_wires`` are untouched.
+
+    A circuit without OR gates is returned unchanged (same object), which
+    makes the pass idempotent.
+    """
+    if not any(g.gate_type == GateType.OR for g in circuit.gates):
+        return circuit
+    gates: List[Gate] = []
+    next_wire = circuit.wire_count
+    for gate in circuit.gates:
+        if gate.gate_type != GateType.OR:
+            gates.append(gate)
+            continue
+        a, b = gate.input_wires
+        xor_wire = next_wire
+        and_wire = next_wire + 1
+        next_wire += 2
+        gates.append(Gate(gate_type=GateType.XOR, input_wires=(a, b), output_wire=xor_wire))
+        gates.append(Gate(gate_type=GateType.AND, input_wires=(a, b), output_wire=and_wire))
+        gates.append(
+            Gate(
+                gate_type=GateType.XOR,
+                input_wires=(xor_wire, and_wire),
+                output_wire=gate.output_wire,
+            )
+        )
+    return Circuit(
+        garbler_inputs=list(circuit.garbler_inputs),
+        evaluator_inputs=list(circuit.evaluator_inputs),
+        gates=gates,
+        output_wires=list(circuit.output_wires),
+        wire_count=next_wire,
+    )
 
 
 def int_to_bits(value: int, bit_width: int) -> List[int]:

@@ -1,19 +1,36 @@
-"""Yao garbled circuits with point-and-permute.
+"""Yao garbled circuits: pluggable garbling schemes.
 
 This is the Fairplay-style building block used by PEM's Private Market
 Evaluation: two parties (here the randomly chosen seller ``H_r1`` and buyer
 ``H_r2``) securely compare their blinded aggregates without revealing them.
 
-Garbling scheme
----------------
-Every wire ``w`` gets two random 128-bit labels ``L_w^0``, ``L_w^1`` plus a
-random *permute bit* ``π_w``.  For each binary gate the four possible
-(input-label, input-label) pairs encrypt the correct output label with a
-SHA-256 based dual-key cipher; the rows are stored ordered by the inputs'
-*external* bits (label's permute bit XOR its truth value), so the evaluator
-knows exactly which row to decrypt — the classic point-and-permute
-optimization.  NOT gates are handled for free by swapping labels at garble
-time (no table needed).
+Two :class:`GarblingScheme` implementations share one evaluator entry point
+(:func:`evaluate_garbled_circuit` dispatches on ``GarbledCircuit.scheme``):
+
+``classic`` (the default, canonical reference path)
+    Every wire ``w`` gets two random 128-bit labels ``L_w^0``, ``L_w^1``
+    plus a random *permute bit* ``π_w``.  For each binary gate the four
+    possible (input-label, input-label) pairs encrypt the correct output
+    label with a SHA-256 based dual-key cipher; the rows are stored ordered
+    by the inputs' *external* bits (label's permute bit XOR its truth
+    value), so the evaluator knows exactly which row to decrypt — the
+    classic point-and-permute optimization.  NOT gates are handled for free
+    by swapping labels at garble time (no table needed).
+
+``halfgates`` (free-XOR + half-gates)
+    All one-labels equal the zero-label XOR a circuit-global secret ``Δ``
+    (Kolesnikov–Schneider free-XOR, ICALP'08), whose least-significant bit
+    is forced to 1 so a label's external bit is simply its key's lsb.  XOR
+    gates then cost zero table rows (output zero-label = XOR of the input
+    zero-labels; the evaluator XORs active keys), NOT stays free, and each
+    AND gate ships exactly two rows ``(T_G, T_E)`` via the half-gates
+    construction (Zahur–Rosulek–Evans, EUROCRYPT'15) — the generator half
+    computes ``a AND π_b`` and the evaluator half ``a AND (b XOR π_b)``.
+    OR gates must be lowered first (:func:`repro.crypto.circuits.lower_to_xor_and`).
+
+The two schemes produce incompatible label algebra, so labels and tables
+necessarily differ — *outcome identity* on identical inputs is the
+cross-scheme certificate (see ``BENCH_crypto.json``'s ``garbling`` section).
 
 The evaluator obtains the garbler's input labels directly and its own input
 labels through 1-out-of-2 oblivious transfer (:mod:`repro.crypto.ot`), so
@@ -28,7 +45,7 @@ import secrets
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .circuits import Circuit, Gate, GateType, TRUTH_TABLES
+from .circuits import Circuit, Gate, GateType, TRUTH_TABLES, lower_to_xor_and
 from .ot import OTGroup, run_oblivious_transfer
 
 __all__ = [
@@ -36,7 +53,13 @@ __all__ = [
     "GarbledGate",
     "GarbledCircuit",
     "GarblerOutput",
+    "GarblingScheme",
+    "ClassicScheme",
+    "HalfGatesScheme",
+    "GARBLING_SCHEMES",
+    "get_scheme",
     "garble_circuit",
+    "garble_circuit_halfgates",
     "evaluate_garbled_circuit",
     "run_two_party_computation",
     "TwoPartyComputationResult",
@@ -103,11 +126,22 @@ class GarbledCircuit:
     #: mapping output wire -> (hash of zero-label, hash of one-label) so the
     #: evaluator can decode output bits without learning other wires.
     output_decoding: Dict[int, Tuple[bytes, bytes]]
+    #: garbling scheme that produced the tables; evaluation dispatches on it.
+    scheme: str = "classic"
 
     def serialized_size(self) -> int:
-        """Approximate wire-format size in bytes (for bandwidth accounting)."""
+        """Wire-format size in bytes (for bandwidth accounting).
+
+        Under ``classic`` every gate ships its rows plus an 8-byte header
+        (the seed formula, kept bit-identical).  Under ``halfgates`` free
+        gates (XOR/NOT, no rows) ship *nothing* — the evaluator recomputes
+        them from the circuit description it already holds — so only AND
+        tables (2×16 bytes + header) and the output decoding cross the wire.
+        """
         total = 0
         for gate in self.gates:
+            if self.scheme == "halfgates" and not gate.rows:
+                continue
             total += sum(len(row) for row in gate.rows) + 8
         total += len(self.output_decoding) * 2 * 32
         return total
@@ -151,7 +185,7 @@ def _label_digest(label: WireLabel) -> bytes:
 def _random_label(rng: Optional[random.Random]) -> bytes:
     if rng is None:
         return secrets.token_bytes(LABEL_BYTES)
-    return bytes(rng.getrandbits(8) for _ in range(LABEL_BYTES))
+    return rng.getrandbits(8 * LABEL_BYTES).to_bytes(LABEL_BYTES, "big")
 
 
 def garble_circuit(circuit: Circuit, rng: Optional[random.Random] = None) -> GarblerOutput:
@@ -228,6 +262,204 @@ def garble_circuit(circuit: Circuit, rng: Optional[random.Random] = None) -> Gar
     return GarblerOutput(garbled=garbled, wire_labels=labels)
 
 
+# -- free-XOR + half-gates ---------------------------------------------------------------
+
+
+def _hg_hash(key_int: int, tweak: int) -> int:
+    """Half-gates hash ``H(W, t)``: SHA-256 truncated to one label, as an int."""
+    digest = hashlib.sha256(
+        b"halfgates" + key_int.to_bytes(LABEL_BYTES, "big") + tweak.to_bytes(8, "big")
+    ).digest()
+    return int.from_bytes(digest[:LABEL_BYTES], "big")
+
+
+def _label_from_int(key_int: int) -> WireLabel:
+    """Materialize a half-gates label; its external bit is the key's lsb."""
+    return WireLabel(key=key_int.to_bytes(LABEL_BYTES, "big"), external_bit=key_int & 1)
+
+
+class _LazyLabelDict(Dict[int, _WirePair]):
+    """Wire → label pair, materialized from the integer zero-labels on access.
+
+    Only the input wires are materialized eagerly (the protocol needs them
+    on every run); internal-wire pairs are built on first lookup.  This
+    keeps the garbling hot path free of per-wire ``WireLabel`` construction
+    — at 64 bits that construction would otherwise cost as much as the
+    half-gate hashing itself.
+    """
+
+    def __init__(self, zero_ints: Dict[int, int], delta: int, eager: Sequence[int]):
+        super().__init__()
+        self._zero_ints = zero_ints
+        self._delta = delta
+        for wire in eager:
+            self[wire]  # noqa: B018 - triggers __missing__
+
+    def __missing__(self, wire: int) -> _WirePair:
+        z = self._zero_ints[wire]
+        pair = _WirePair(zero=_label_from_int(z), one=_label_from_int(z ^ self._delta))
+        self[wire] = pair
+        return pair
+
+
+def garble_circuit_halfgates(
+    circuit: Circuit, rng: Optional[random.Random] = None
+) -> GarblerOutput:
+    """Garble a lowered (XOR/AND/NOT-only) circuit with free-XOR + half-gates.
+
+    A circuit-global secret ``Δ`` (lsb forced to 1) relates every wire's two
+    labels: ``L^1 = L^0 XOR Δ``.  XOR gates and NOT gates emit no rows; each
+    AND gate emits the two half-gate rows ``(T_G, T_E)``:
+
+    * ``T_G = H(A0, 2j) ⊕ H(A1, 2j) ⊕ π_b·Δ`` — generator half ``a AND π_b``
+    * ``T_E = H(B0, 2j+1) ⊕ H(B1, 2j+1) ⊕ A0`` — evaluator half
+      ``a AND (b XOR π_b)``
+
+    with output zero-label ``C0 = H(A0,2j) ⊕ π_a·T_G ⊕ H(B0,2j+1) ⊕
+    π_b·(T_E ⊕ A0)``, where ``π_w = lsb(W0)``.  Labels are manipulated as
+    ints internally (XOR-heavy inner loop) and materialized as
+    :class:`WireLabel` pairs for the protocol interface.
+    """
+    if any(g.gate_type == GateType.OR for g in circuit.gates):
+        raise GarblingError(
+            "halfgates requires a lowered circuit (run lower_to_xor_and first)"
+        )
+
+    def rand_key() -> int:
+        if rng is None:
+            return int.from_bytes(secrets.token_bytes(LABEL_BYTES), "big")
+        return rng.getrandbits(8 * LABEL_BYTES)
+
+    delta = rand_key() | 1
+    zero: Dict[int, int] = {}
+
+    def ensure_zero(wire: int) -> int:
+        if wire not in zero:
+            zero[wire] = rand_key()
+        return zero[wire]
+
+    for wire in list(circuit.garbler_inputs) + list(circuit.evaluator_inputs):
+        ensure_zero(wire)
+
+    garbled_gates: List[GarbledGate] = []
+    for gate_index, gate in enumerate(circuit.gates):
+        if gate.gate_type == GateType.NOT:
+            # Free NOT: the output zero-label is the input one-label.
+            zero[gate.output_wire] = ensure_zero(gate.input_wires[0]) ^ delta
+            rows: Tuple[bytes, ...] = ()
+        elif gate.gate_type == GateType.XOR:
+            # Free XOR: zero-labels XOR; Δ cancels on matching one-labels.
+            a0 = ensure_zero(gate.input_wires[0])
+            b0 = ensure_zero(gate.input_wires[1])
+            zero[gate.output_wire] = a0 ^ b0
+            rows = ()
+        elif gate.gate_type == GateType.AND:
+            a0 = ensure_zero(gate.input_wires[0])
+            b0 = ensure_zero(gate.input_wires[1])
+            p_a, p_b = a0 & 1, b0 & 1
+            h_a0 = _hg_hash(a0, 2 * gate_index)
+            h_a1 = _hg_hash(a0 ^ delta, 2 * gate_index)
+            h_b0 = _hg_hash(b0, 2 * gate_index + 1)
+            h_b1 = _hg_hash(b0 ^ delta, 2 * gate_index + 1)
+            t_g = h_a0 ^ h_a1 ^ (delta if p_b else 0)
+            t_e = h_b0 ^ h_b1 ^ a0
+            w_g0 = h_a0 ^ (t_g if p_a else 0)
+            w_e0 = h_b0 ^ ((t_e ^ a0) if p_b else 0)
+            zero[gate.output_wire] = w_g0 ^ w_e0
+            rows = (
+                t_g.to_bytes(LABEL_BYTES, "big"),
+                t_e.to_bytes(LABEL_BYTES, "big"),
+            )
+        else:  # pragma: no cover - exhaustive over lowered gate types
+            raise GarblingError(f"halfgates cannot garble {gate.gate_type.value}")
+        garbled_gates.append(
+            GarbledGate(
+                gate_type=gate.gate_type,
+                input_wires=gate.input_wires,
+                output_wire=gate.output_wire,
+                rows=rows,
+            )
+        )
+
+    labels = _LazyLabelDict(
+        zero,
+        delta,
+        eager=list(circuit.garbler_inputs) + list(circuit.evaluator_inputs),
+    )
+    output_decoding = {
+        wire: (_label_digest(labels[wire].zero), _label_digest(labels[wire].one))
+        for wire in circuit.output_wires
+    }
+    garbled = GarbledCircuit(
+        circuit=circuit,
+        gates=garbled_gates,
+        output_decoding=output_decoding,
+        scheme="halfgates",
+    )
+    return GarblerOutput(garbled=garbled, wire_labels=labels)
+
+
+class GarblingScheme:
+    """The pluggable garbling seam: lower a circuit, then garble it.
+
+    Implementations must agree on the evaluator interface — labels travel as
+    17-byte :class:`WireLabel` blobs over the same OTs, evaluation is
+    :func:`evaluate_garbled_circuit`, and output decoding fails closed — so
+    pools, sessions and transports are scheme-agnostic.
+    """
+
+    name: str = "abstract"
+
+    def lower(self, circuit: Circuit) -> Circuit:
+        """Rewrite ``circuit`` into the gate basis this scheme can garble."""
+        raise NotImplementedError
+
+    def garble(self, circuit: Circuit, rng: Optional[random.Random] = None) -> GarblerOutput:
+        """Garble an (already lowered) circuit."""
+        raise NotImplementedError
+
+
+class ClassicScheme(GarblingScheme):
+    """Point-and-permute, four rows per binary gate (the seed behavior)."""
+
+    name = "classic"
+
+    def lower(self, circuit: Circuit) -> Circuit:
+        return circuit
+
+    def garble(self, circuit: Circuit, rng: Optional[random.Random] = None) -> GarblerOutput:
+        return garble_circuit(circuit, rng=rng)
+
+
+class HalfGatesScheme(GarblingScheme):
+    """Free-XOR labels + two-row half-gate AND tables over a lowered circuit."""
+
+    name = "halfgates"
+
+    def lower(self, circuit: Circuit) -> Circuit:
+        return lower_to_xor_and(circuit)
+
+    def garble(self, circuit: Circuit, rng: Optional[random.Random] = None) -> GarblerOutput:
+        return garble_circuit_halfgates(circuit, rng=rng)
+
+
+GARBLING_SCHEMES: Dict[str, GarblingScheme] = {
+    scheme.name: scheme for scheme in (ClassicScheme(), HalfGatesScheme())
+}
+
+
+def get_scheme(name: "str | GarblingScheme") -> GarblingScheme:
+    """Resolve a scheme by name (``"classic"``/``"halfgates"``) or pass through."""
+    if isinstance(name, GarblingScheme):
+        return name
+    try:
+        return GARBLING_SCHEMES[name]
+    except KeyError:
+        raise GarblingError(
+            f"unknown garbling scheme {name!r}; known: {sorted(GARBLING_SCHEMES)}"
+        ) from None
+
+
 def evaluate_garbled_circuit(
     garbled: GarbledCircuit,
     garbler_labels: Sequence[WireLabel],
@@ -248,6 +480,9 @@ def evaluate_garbled_circuit(
         raise GarblingError("wrong number of garbler labels")
     if len(evaluator_labels) != len(circuit.evaluator_inputs):
         raise GarblingError("wrong number of evaluator labels")
+
+    if garbled.scheme == "halfgates":
+        return _evaluate_halfgates(garbled, garbler_labels, evaluator_labels)
 
     active: Dict[int, WireLabel] = {}
     for wire, label in zip(circuit.garbler_inputs, garbler_labels):
@@ -280,6 +515,68 @@ def evaluate_garbled_circuit(
     return outputs
 
 
+def _evaluate_halfgates(
+    garbled: GarbledCircuit,
+    garbler_labels: Sequence[WireLabel],
+    evaluator_labels: Sequence[WireLabel],
+) -> List[int]:
+    """Half-gates evaluation: XOR/NOT are free, AND hashes twice per gate.
+
+    The select bit of a wire is its active key's lsb (Δ's lsb is 1 by
+    construction, so the two labels of a wire always disagree on it):
+
+    * ``W_G = H(W_a, 2j) ⊕ s_a·T_G``
+    * ``W_E = H(W_b, 2j+1) ⊕ s_b·(T_E ⊕ W_a)``
+    * ``W_c = W_G ⊕ W_E``
+
+    Corrupt rows or labels surface as an unrecognized output digest — the
+    same fail-closed mechanism as the classic scheme.
+    """
+    circuit = garbled.circuit
+    active: Dict[int, int] = {}
+    for wire, label in zip(circuit.garbler_inputs, garbler_labels):
+        active[wire] = int.from_bytes(label.key, "big")
+    for wire, label in zip(circuit.evaluator_inputs, evaluator_labels):
+        active[wire] = int.from_bytes(label.key, "big")
+
+    for gate_index, ggate in enumerate(garbled.gates):
+        if ggate.gate_type == GateType.NOT:
+            active[ggate.output_wire] = active[ggate.input_wires[0]]
+            continue
+        if ggate.gate_type == GateType.XOR:
+            active[ggate.output_wire] = (
+                active[ggate.input_wires[0]] ^ active[ggate.input_wires[1]]
+            )
+            continue
+        if ggate.gate_type != GateType.AND:
+            raise GarblingError(
+                f"halfgates circuit contains unsupported {ggate.gate_type.value} gate"
+            )
+        if len(ggate.rows) != 2 or any(len(row) != LABEL_BYTES for row in ggate.rows):
+            raise GarblingError("half-gates AND table must have two label-sized rows")
+        w_a = active[ggate.input_wires[0]]
+        w_b = active[ggate.input_wires[1]]
+        t_g = int.from_bytes(ggate.rows[0], "big")
+        t_e = int.from_bytes(ggate.rows[1], "big")
+        w_g = _hg_hash(w_a, 2 * gate_index) ^ (t_g if w_a & 1 else 0)
+        w_e = _hg_hash(w_b, 2 * gate_index + 1) ^ ((t_e ^ w_a) if w_b & 1 else 0)
+        active[ggate.output_wire] = w_g ^ w_e
+
+    outputs: List[int] = []
+    for wire in circuit.output_wires:
+        digest = hashlib.sha256(
+            b"output-decode" + active[wire].to_bytes(LABEL_BYTES, "big")
+        ).digest()
+        zero_digest, one_digest = garbled.output_decoding[wire]
+        if digest == zero_digest:
+            outputs.append(0)
+        elif digest == one_digest:
+            outputs.append(1)
+        else:
+            raise GarblingError(f"output wire {wire} produced an unrecognized label")
+    return outputs
+
+
 @dataclass
 class TwoPartyComputationResult:
     """Result of an in-process two-party garbled-circuit execution."""
@@ -297,15 +594,19 @@ def run_two_party_computation(
     evaluator_bits: Sequence[int],
     rng: Optional[random.Random] = None,
     ot_group: Optional[OTGroup] = None,
+    scheme: "str | GarblingScheme" = "classic",
 ) -> TwoPartyComputationResult:
     """Run the full Yao protocol between two in-process parties.
 
-    The garbler garbles the circuit and sends tables + its own active input
-    labels; the evaluator obtains its input labels via oblivious transfer and
-    evaluates.  Byte counts are tracked so the PEM network layer can charge
-    the comparison to the two participating agents (Table I).
+    The garbler lowers + garbles the circuit under ``scheme`` and sends
+    tables + its own active input labels; the evaluator obtains its input
+    labels via oblivious transfer and evaluates.  Byte counts are tracked so
+    the PEM network layer can charge the comparison to the two participating
+    agents (Table I).
     """
-    garbler_out = garble_circuit(circuit, rng=rng)
+    garbling = get_scheme(scheme)
+    circuit = garbling.lower(circuit)
+    garbler_out = garbling.garble(circuit, rng=rng)
     garbler_labels = garbler_out.garbler_input_labels(garbler_bits)
 
     label_pairs = garbler_out.evaluator_label_pairs()
@@ -321,7 +622,8 @@ def run_two_party_computation(
         + len(garbler_labels) * (LABEL_BYTES + 1)
         + ot_bytes
     )
-    evaluator_bytes = len(evaluator_bits) * ((OTGroup.default().p.bit_length() + 7) // 8)
+    group = ot_group if ot_group is not None else OTGroup.default()
+    evaluator_bytes = len(evaluator_bits) * ((group.p.bit_length() + 7) // 8)
     return TwoPartyComputationResult(
         output_bits=output_bits,
         garbler_bytes_sent=garbler_bytes,

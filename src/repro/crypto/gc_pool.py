@@ -68,9 +68,10 @@ from .circuits import Circuit, build_greater_than_circuit, int_to_bits
 from .garbled import (
     LABEL_BYTES,
     GarblerOutput,
+    GarblingScheme,
     WireLabel,
     evaluate_garbled_circuit,
-    garble_circuit,
+    get_scheme,
 )
 from .ot import OTGroup
 from .otext import (
@@ -130,10 +131,14 @@ class PreparedComparison:
         bit_width: int,
         correlation: BaseOTCorrelation,
         rng: Optional[random.Random] = None,
+        scheme: "str | GarblingScheme" = "classic",
     ) -> None:
+        garbling = get_scheme(scheme)
         self.bit_width = bit_width
-        self.circuit = circuit
-        self._garbler: GarblerOutput = garble_circuit(circuit, rng=rng)
+        # Lowering is idempotent, so pre-lowered pool circuits pass through.
+        self.circuit = garbling.lower(circuit)
+        self.scheme = garbling.name
+        self._garbler: GarblerOutput = garbling.garble(self.circuit, rng=rng)
         self._ot_batch = derive_batch(
             correlation,
             count=bit_width,
@@ -230,6 +235,9 @@ class ComparisonPool:
         rng: label randomness for instances built on the protocol thread
             (defaults to the system CSPRNG — see the module docstring for
             why a derived stream is forbidden here).
+        scheme: garbling scheme for every instance (``"classic"`` or
+            ``"halfgates"``); the comparator circuit is lowered once here so
+            per-instance garbling skips the rewrite.
     """
 
     def __init__(
@@ -238,13 +246,16 @@ class ComparisonPool:
         kappa: int = DEFAULT_KAPPA,
         group: Optional[OTGroup] = None,
         rng: Optional[random.Random] = None,
+        scheme: "str | GarblingScheme" = "classic",
     ) -> None:
         if bit_width < 1:
             raise ComparisonError(f"bit width must be >= 1, got {bit_width}")
         self.bit_width = bit_width
         self.kappa = kappa
         self._group = group or OTGroup.default()
-        self.circuit = build_greater_than_circuit(bit_width)
+        self._scheme = get_scheme(scheme)
+        self.scheme = self._scheme.name
+        self.circuit = self._scheme.lower(build_greater_than_circuit(bit_width))
         self._rng = rng
         self._pool: Deque[PreparedComparison] = deque()
         self._reservoir: Deque[PreparedComparison] = deque()
@@ -284,7 +295,9 @@ class ComparisonPool:
 
     def _build(self, rng: Optional[random.Random]) -> PreparedComparison:
         correlation = shared_correlation(self.kappa, self._group)
-        return PreparedComparison(self.circuit, self.bit_width, correlation, rng=rng)
+        return PreparedComparison(
+            self.circuit, self.bit_width, correlation, rng=rng, scheme=self._scheme
+        )
 
     def _next_instance(self) -> PreparedComparison:
         """A never-used instance: reservoir pop, or built inline."""

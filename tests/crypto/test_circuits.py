@@ -13,6 +13,7 @@ from repro.crypto.circuits import (
     build_adder_circuit,
     build_greater_than_circuit,
     int_to_bits,
+    lower_to_xor_and,
 )
 
 
@@ -90,6 +91,39 @@ def test_and_gate_count_positive():
     circuit = build_greater_than_circuit(16)
     assert circuit.and_gate_count > 0
     assert circuit.and_gate_count < len(circuit.gates)
+
+
+def test_lower_to_xor_and_preserves_semantics():
+    for width in (1, 2, 4, 6):
+        circuit = build_greater_than_circuit(width)
+        lowered = lower_to_xor_and(circuit)
+        assert not any(g.gate_type == GateType.OR for g in lowered.gates)
+        assert lowered.output_wires == circuit.output_wires
+        assert lowered.and_gate_count == circuit.and_gate_count
+        for a in range(1 << width):
+            for b in range(1 << width):
+                bits_a, bits_b = int_to_bits(a, width), int_to_bits(b, width)
+                assert lowered.evaluate(bits_a, bits_b) == circuit.evaluate(bits_a, bits_b)
+
+
+def test_lower_to_xor_and_idempotent():
+    circuit = build_greater_than_circuit(8)
+    lowered = lower_to_xor_and(circuit)
+    # No ORs left -> the pass returns the same object unchanged.
+    assert lower_to_xor_and(lowered) is lowered
+
+
+def test_gate_histogram_accounts_every_gate():
+    circuit = build_greater_than_circuit(8)
+    histogram = circuit.gate_histogram()
+    assert sum(histogram.values()) == len(circuit.gates)
+    assert histogram["OR"] == 7  # one OR per bit above the lsb
+    lowered = lower_to_xor_and(circuit)
+    lowered_histogram = lowered.gate_histogram()
+    assert "OR" not in lowered_histogram
+    # Each OR becomes XOR + AND + XOR.
+    assert lowered_histogram["AND"] == histogram["AND"] + histogram["OR"]
+    assert lowered_histogram["XOR"] == histogram.get("XOR", 0) + 2 * histogram["OR"]
 
 
 def test_builders_reject_zero_width():

@@ -1,6 +1,8 @@
 """Property-based harness for the garbled-comparison pipeline.
 
-Three families of guarantees must survive the offline refactor:
+Three families of guarantees must survive the offline refactor, under
+**every garbling scheme** (the module is parametrized over ``classic`` and
+``halfgates``):
 
 * **bit-identity** — garbled evaluation (classic and pooled/prepared)
   matches the plaintext comparison for randomized bit widths and operands;
@@ -8,7 +10,10 @@ Three families of guarantees must survive the offline refactor:
   on both paths with the same exception type;
 * **fail-closed under tampering** — corrupting garbled rows, transferred
   labels, OT masks or output-decoding tables makes evaluation raise, never
-  return a wrong-but-plausible bit.
+  return a wrong-but-plausible bit.  (Half-gate rows enter evaluation only
+  when their select bit is 1, so a tampered-but-unconsumed row legitimately
+  still decodes — the property is "correct answer or abort", never a wrong
+  answer.)
 """
 
 import random
@@ -24,7 +29,7 @@ from repro.crypto.garbled import (
     GarblingError,
     WireLabel,
     evaluate_garbled_circuit,
-    garble_circuit,
+    get_scheme,
 )
 from repro.crypto.gc_pool import ComparisonError, PreparedComparison
 from repro.crypto.otext import OTExtensionError, derive_batch
@@ -34,6 +39,8 @@ from repro.crypto.secure_comparison import (
     prepared_less_than,
 )
 
+SCHEMES = ("classic", "halfgates")
+
 
 @pytest.fixture(scope="module")
 def correlation(ot_correlation):
@@ -41,11 +48,23 @@ def correlation(ot_correlation):
     return ot_correlation
 
 
-def prepared(bit_width, correlation, seed):
+@pytest.fixture(scope="module", params=SCHEMES)
+def scheme(request):
+    return request.param
+
+
+def prepared(bit_width, correlation, seed, scheme="classic"):
     circuit = build_greater_than_circuit(bit_width)
     return PreparedComparison(
-        circuit, bit_width, correlation, rng=random.Random(seed)
+        circuit, bit_width, correlation, rng=random.Random(seed), scheme=scheme
     )
+
+
+def garble_for(scheme_name, bit_width, rng):
+    """Lower + garble a comparator under one scheme (for tamper tests)."""
+    garbling = get_scheme(scheme_name)
+    circuit = garbling.lower(build_greater_than_circuit(bit_width))
+    return circuit, garbling.garble(circuit, rng=rng)
 
 
 # -- bit-identity properties -----------------------------------------------------------
@@ -58,10 +77,10 @@ def prepared(bit_width, correlation, seed):
     b=st.integers(min_value=0, max_value=2**20 - 1),
     seed=st.integers(min_value=0, max_value=2**32),
 )
-def test_prepared_evaluation_matches_plaintext(correlation, bit_width, a, b, seed):
+def test_prepared_evaluation_matches_plaintext(correlation, scheme, bit_width, a, b, seed):
     a %= 1 << bit_width
     b %= 1 << bit_width
-    instance = prepared(bit_width, correlation, seed)
+    instance = prepared(bit_width, correlation, seed, scheme=scheme)
     assert prepared_greater_than(instance, a, b).result == (a > b)
 
 
@@ -71,19 +90,20 @@ def test_prepared_evaluation_matches_plaintext(correlation, bit_width, a, b, see
     a=st.integers(min_value=0, max_value=2**16 - 1),
     b=st.integers(min_value=0, max_value=2**16 - 1),
 )
-def test_prepared_less_than_matches_plaintext(correlation, bit_width, a, b):
+def test_prepared_less_than_matches_plaintext(correlation, scheme, bit_width, a, b):
     a %= 1 << bit_width
     b %= 1 << bit_width
-    instance = prepared(bit_width, correlation, seed=a ^ (b << 1))
+    instance = prepared(bit_width, correlation, seed=a ^ (b << 1), scheme=scheme)
     result = prepared_less_than(instance, a, b)
     assert result.result == (a < b)
     assert result.pooled is True
 
 
-def test_pool_draws_match_plaintext_over_random_widths(correlation):
+def test_pool_draws_match_plaintext_over_random_widths(correlation, scheme):
     rng = random.Random(77)
     for bit_width in (1, 2, 7, 13, 64):
-        pool = small_comparison_pool(bit_width)
+        pool = small_comparison_pool(bit_width, scheme=scheme)
+        assert pool.scheme == scheme
         pool.warm(3)
         for _ in range(3):
             a = rng.randrange(0, 1 << bit_width)
@@ -94,20 +114,30 @@ def test_pool_draws_match_plaintext_over_random_widths(correlation):
         assert pool.fallback_count == 0
 
 
-def test_boundary_operands(correlation):
+def test_boundary_operands(correlation, scheme):
     for bit_width in (1, 8, 64):
         top = (1 << bit_width) - 1
         for a, b in ((0, 0), (top, top), (0, top), (top, 0)):
-            instance = prepared(bit_width, correlation, seed=a + b + bit_width)
+            instance = prepared(bit_width, correlation, seed=a + b + bit_width, scheme=scheme)
             assert instance.evaluate(a, b).result == (a > b)
+
+
+def test_halfgates_tables_are_smaller(correlation):
+    """The point of the scheme: fewer garbled-table bytes per instance."""
+    classic = prepared(64, correlation, seed=5, scheme="classic")
+    halfgates = prepared(64, correlation, seed=5, scheme="halfgates")
+    assert halfgates.offline_bytes < classic.offline_bytes
+    # Identical OT batches and accounting shape; only the tables shrink.
+    assert halfgates.and_gate_count == classic.and_gate_count
+    assert halfgates.evaluate(2**63, 2**62).result is True
 
 
 # -- operand sign / range discipline ---------------------------------------------------
 
 
 @pytest.mark.parametrize("bad_pair", [(-1, 3), (3, -1), (-5, -2)])
-def test_negative_operands_rejected(bad_pair, correlation):
-    instance = prepared(8, correlation, seed=1)
+def test_negative_operands_rejected(bad_pair, correlation, scheme):
+    instance = prepared(8, correlation, seed=1, scheme=scheme)
     with pytest.raises(SecureComparisonError):
         prepared_greater_than(instance, *bad_pair)
     # Rejection happens before evaluation, so the instance is still fresh.
@@ -115,21 +145,21 @@ def test_negative_operands_rejected(bad_pair, correlation):
     assert instance.evaluate(4, 2).result is True
 
 
-def test_oversized_operands_rejected(correlation):
-    instance = prepared(8, correlation, seed=2)
+def test_oversized_operands_rejected(correlation, scheme):
+    instance = prepared(8, correlation, seed=2, scheme=scheme)
     with pytest.raises(SecureComparisonError):
         prepared_greater_than(instance, 256, 3)
     with pytest.raises(SecureComparisonError):
         prepared_greater_than(instance, 3, 1 << 12)
 
 
-def test_one_shot_reuse_rejected(correlation):
-    instance = prepared(8, correlation, seed=3)
+def test_one_shot_reuse_rejected(correlation, scheme):
+    instance = prepared(8, correlation, seed=3, scheme=scheme)
     assert instance.evaluate(9, 4).result is True
     with pytest.raises(ComparisonError):
         instance.evaluate(9, 4)
     # And through the secure_comparison wrapper the error is translated.
-    other = prepared(8, correlation, seed=4)
+    other = prepared(8, correlation, seed=4, scheme=scheme)
     prepared_greater_than(other, 1, 2)
     with pytest.raises(SecureComparisonError):
         prepared_greater_than(other, 1, 2)
@@ -149,13 +179,18 @@ def _flip_bit(data: bytes, bit: int = 0) -> bytes:
     st.integers(min_value=0, max_value=2**12 - 1),
     st.integers(min_value=0, max_value=2**16),
 )
-def test_tampered_rows_fail_closed(bit_width, a, b, seed):
-    """Corrupting every garbled row must raise, never mis-evaluate."""
+def test_tampered_rows_fail_closed(scheme, bit_width, a, b, seed):
+    """Corrupting every garbled row must never mis-evaluate.
+
+    Classic evaluation decrypts one row per binary gate, so tampering every
+    row always aborts.  A half-gate row is folded in only when its select
+    bit is 1; when an evaluation's active path happens to consume no
+    tampered row it legitimately decodes — to the *correct* bit.
+    """
     a %= 1 << bit_width
     b %= 1 << bit_width
     rng = random.Random(seed)
-    circuit = build_greater_than_circuit(bit_width)
-    out = garble_circuit(circuit, rng=rng)
+    circuit, out = garble_for(scheme, bit_width, rng)
     tampered = [
         GarbledGate(
             gate_type=g.gate_type,
@@ -171,13 +206,20 @@ def test_tampered_rows_fail_closed(bit_width, a, b, seed):
         out.wire_labels[w].for_value(bit)
         for w, bit in zip(circuit.evaluator_inputs, int_to_bits(b, bit_width))
     ]
-    with pytest.raises(GarblingError):
-        evaluate_garbled_circuit(out.garbled, garbler_labels, evaluator_labels)
+    if scheme == "classic":
+        with pytest.raises(GarblingError):
+            evaluate_garbled_circuit(out.garbled, garbler_labels, evaluator_labels)
+    else:
+        try:
+            result = evaluate_garbled_circuit(out.garbled, garbler_labels, evaluator_labels)
+        except GarblingError:
+            pass
+        else:
+            assert result == [int(a > b)]
 
 
-def test_tampered_output_decoding_fails_closed():
-    circuit = build_greater_than_circuit(4)
-    out = garble_circuit(circuit, rng=random.Random(5))
+def test_tampered_output_decoding_fails_closed(scheme):
+    circuit, out = garble_for(scheme, 4, random.Random(5))
     wire = circuit.output_wires[0]
     zero_digest, one_digest = out.garbled.output_decoding[wire]
     out.garbled.output_decoding[wire] = (_flip_bit(zero_digest), _flip_bit(one_digest))
@@ -190,9 +232,8 @@ def test_tampered_output_decoding_fails_closed():
         evaluate_garbled_circuit(out.garbled, garbler_labels, evaluator_labels)
 
 
-def test_tampered_wire_label_fails_closed():
-    circuit = build_greater_than_circuit(4)
-    out = garble_circuit(circuit, rng=random.Random(6))
+def test_tampered_wire_label_fails_closed(scheme):
+    circuit, out = garble_for(scheme, 4, random.Random(6))
     garbler_labels = out.garbler_input_labels(int_to_bits(5, 4))
     forged = [
         WireLabel(key=_flip_bit(label.key), external_bit=label.external_bit)
@@ -206,9 +247,9 @@ def test_tampered_wire_label_fails_closed():
         evaluate_garbled_circuit(out.garbled, forged, evaluator_labels)
 
 
-def test_tampered_ot_masks_fail_closed(correlation):
+def test_tampered_ot_masks_fail_closed(correlation, scheme):
     """Flipping bits in the prepared OT pads corrupts the transferred label."""
-    instance = prepared(6, correlation, seed=8)
+    instance = prepared(6, correlation, seed=8, scheme=scheme)
     batch = instance._ot_batch
     batch.sender_pad_pairs = tuple(
         (_flip_bit(p0), _flip_bit(p1)) for p0, p1 in batch.sender_pad_pairs

@@ -60,9 +60,11 @@ def shared_correlation(kappa: int = TEST_KAPPA, seed: int = 2024) -> BaseOTCorre
     return establish_correlation(kappa, rng=random.Random(seed))
 
 
-def small_comparison_pool(bit_width: int, kappa: int = TEST_KAPPA) -> ComparisonPool:
+def small_comparison_pool(
+    bit_width: int, kappa: int = TEST_KAPPA, scheme: str = "classic"
+) -> ComparisonPool:
     """A fresh small-kappa comparison pool (pools are stateful — not cached)."""
-    return ComparisonPool(bit_width, kappa=kappa)
+    return ComparisonPool(bit_width, kappa=kappa, scheme=scheme)
 
 
 @dataclass(frozen=True)
