@@ -18,8 +18,11 @@
 #                      then a tiny day-scoped trading day executed over
 #                      SocketTransport (messages + shard fan-out on real
 #                      loopback TCP), then the same day under half-gates
-#                      garbling; the bench and both day runs exit
-#                      non-zero on any identity or determinism regression
+#                      garbling, then a seeded chaos day over sockets
+#                      (frame faults + a SIGKILLed shard worker, certified
+#                      to recover bit-identically); the bench and all
+#                      three day runs exit non-zero on any identity or
+#                      determinism regression
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -46,3 +49,5 @@ ci: test-fast docs-check
 		--session-scope day --transport socket
 	$(PYTHON) examples/parallel_private_day.py --homes 8 --windows 2 --workers 2 \
 		--garbling-scheme halfgates
+	$(PYTHON) examples/parallel_private_day.py --homes 8 --windows 2 --workers 2 \
+		--chaos-seed 23 --transport socket

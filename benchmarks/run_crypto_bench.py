@@ -48,7 +48,16 @@ pre-acceleration baseline so the perf trajectory is tracked PR over PR:
   scopes must be economically identical, the day-scoped run must stay
   bit-identical under sharding at workers 1/2/4 (sessions established
   exactly once per pair per day), and a day run over ``SocketTransport``
-  (real loopback TCP) must be bit-identical to ``LocalTransport``.
+  (real loopback TCP) must be bit-identical to ``LocalTransport``,
+* ``chaos``: the chaos-engine survival matrix — one seeded deterministic
+  fault plan (frame drops / reorders / duplicates / corruption, a
+  mid-window pool drain, a SIGKILLed socket shard worker) executed across
+  transport x session-scope x workers 1/2/4, with the zero-silent-wrong-
+  answer certificates (the script exits non-zero if any fails): every
+  cell must recover to the bit-identical fault-free day with all
+  incidents classified and recovered, retry overhead must stay within
+  the supervisor's budget, and a tampered-GC run must fail closed with
+  an attributable ``integrity_violation`` (see ``docs/CHAOS.md``).
 
 Usage::
 
@@ -143,6 +152,21 @@ SESSION_SCALES = {
 }
 #: worker counts of the day-scope sharding certificate.
 SESSION_WORKER_COUNTS = (1, 2, 4)
+
+#: (home_count, sampled windows) per scale for the chaos survival matrix —
+#: every cell runs the whole sampled day, so the matrix dominates the
+#: section's cost and stays deliberately small.
+CHAOS_SCALES = {
+    "smoke": (8, 2),
+    "quick": (10, 2),
+    "default": (10, 3),
+    "full": (12, 4),
+}
+#: worker counts of the chaos survival matrix.
+CHAOS_WORKER_COUNTS = (1, 2, 4)
+#: the chaos section's fault-plan seed (fixed: the report must be
+#: reproducible run over run).
+CHAOS_SEED = 20
 
 
 def run_benchmarks(scale: str, json_path: Path) -> None:
@@ -575,6 +599,51 @@ def run_session_section(scale: str) -> dict:
     }
 
 
+def run_chaos_section(scale: str) -> dict:
+    """Build the ``chaos`` report section.
+
+    A seeded deterministic fault plan (frame drops / reorders / duplicates
+    / corruption, a mid-window pool drain, and — on the socket fan-out —
+    a SIGKILLed shard worker) is executed across the survival matrix of
+    transport x session-scope x workers.  Every cell must recover to the
+    *bit-identical* fault-free day with every incident classified; a
+    tampered-GC run must fail closed with an attributable
+    ``integrity_violation``.  The script exits non-zero if any injected-
+    fault run diverges after recovery, if any incident goes unrecovered,
+    or if tampering does not abort — the zero-silent-wrong-answer gate.
+    """
+    from repro.analysis.experiments import experiment_chaos_matrix
+
+    home_count, sample_count = CHAOS_SCALES[scale]
+    obs = experiment_chaos_matrix(
+        home_count=home_count,
+        sample_count=sample_count,
+        worker_counts=CHAOS_WORKER_COUNTS,
+        chaos_seed=CHAOS_SEED,
+    )
+    return {
+        "home_count": obs.home_count,
+        "windows_executed": obs.windows_executed,
+        "chaos_seed": obs.chaos_seed,
+        "max_attempts": obs.max_attempts,
+        "total_incidents": obs.total_incidents,
+        "recovery_rate": round(obs.recovery_rate, 4),
+        "retry_overhead": round(obs.retry_overhead, 4),
+        "tamper_fail_closed": obs.tamper_fail_closed,
+        "tamper_incident_classified": obs.tamper_incident_classified,
+        "matrix": {
+            f"{cell.transport}/{cell.session_scope}/workers={cell.workers}": {
+                "incidents": cell.incidents,
+                "worker_losses": cell.worker_losses,
+                "retried_attempts": cell.retried_attempts,
+                "recovered": cell.recovered,
+                "recovered_identical": cell.recovered_identical,
+            }
+            for cell in obs.cells
+        },
+    }
+
+
 def run_parallel_day(scale: str, workers: int, background_refill: bool) -> dict:
     """Execute the sharded-day experiment and distill it for the report."""
     from repro.analysis.experiments import experiment_parallel_day
@@ -654,6 +723,8 @@ def main() -> int:
     report["aggregation_topology"] = run_topology_section()
     print("running the session-reuse day (window vs. day scope, socket transport) ...")
     report["session_reuse"] = run_session_section(args.scale)
+    print("running the chaos survival matrix + fail-closed certificates ...")
+    report["chaos"] = run_chaos_section(args.scale)
     if not args.skip_parallel:
         print(f"running the sharded-day experiment ({args.workers} workers) ...")
         report["parallel_runner"] = run_parallel_day(
@@ -792,6 +863,52 @@ def main() -> int:
         print(
             "ERROR: SocketTransport day diverged from LocalTransport — "
             "transport regression",
+            file=sys.stderr,
+        )
+        failed = True
+    chaos = report["chaos"]
+    print(
+        f"  chaos[{len(chaos['matrix'])} cells]: {chaos['total_incidents']} incidents, "
+        f"recovery_rate={chaos['recovery_rate']}, retry_overhead="
+        f"{chaos['retry_overhead']}, tamper_fail_closed={chaos['tamper_fail_closed']}"
+    )
+    diverged = {
+        name: cell
+        for name, cell in chaos["matrix"].items()
+        if not (cell["recovered"] and cell["recovered_identical"])
+    }
+    if diverged:
+        print(
+            f"ERROR: chaos cells diverged after recovery ({sorted(diverged)}) — "
+            "a recovered run must be bit-identical to the fault-free day",
+            file=sys.stderr,
+        )
+        failed = True
+    if chaos["total_incidents"] == 0:
+        print(
+            "ERROR: the chaos matrix injected no faults — the survival "
+            "certificate is vacuous",
+            file=sys.stderr,
+        )
+        failed = True
+    if chaos["recovery_rate"] < 1.0:
+        print(
+            f"ERROR: chaos recovery rate {chaos['recovery_rate']} < 1.0 — "
+            "some incidents went unrecovered on completed runs",
+            file=sys.stderr,
+        )
+        failed = True
+    if chaos["retry_overhead"] > chaos["max_attempts"] - 1:
+        print(
+            f"ERROR: chaos retry overhead {chaos['retry_overhead']} exceeds the "
+            f"retry budget ({chaos['max_attempts'] - 1} extra attempts/window)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not (chaos["tamper_fail_closed"] and chaos["tamper_incident_classified"]):
+        print(
+            "ERROR: tampered GC material did not fail closed with a classified "
+            "integrity_violation — silent-wrong-answer path",
             file=sys.stderr,
         )
         failed = True

@@ -18,6 +18,15 @@ prepares the secure comparisons under free-XOR + half-gates garbling
 (fewer table bytes, faster offline garbling) — all bit-identical or
 outcome-identical to the defaults.
 
+``--chaos-seed N`` arms the chaos engine on the sharded run: a seeded
+deterministic :class:`repro.chaos.FaultPlan` injects frame drops /
+reorders / duplicates / corruption (and, over the socket fan-out with
+multiple workers, SIGKILLs a shard worker mid-run); the
+:class:`repro.runtime.WindowSupervisor` classifies and retries every
+fault, and the example exits non-zero unless the recovered run is
+bit-identical to the clean serial run with every incident recovered —
+the detect-and-recover certificate of ``docs/CHAOS.md``.
+
 Run with:  python examples/parallel_private_day.py [--homes N] [--windows K]
                                                    [--workers W]
                                                    [--strategy stride|contiguous]
@@ -25,12 +34,14 @@ Run with:  python examples/parallel_private_day.py [--homes N] [--windows K]
                                                    [--transport local|socket]
                                                    [--garbling-scheme classic|halfgates]
                                                    [--background-refill]
+                                                   [--chaos-seed N]
 """
 
 import argparse
 import os
 
 from repro.analysis import sample_market_windows
+from repro.chaos import FaultPlan
 from repro.core import PAPER_PARAMETERS
 from repro.core.protocols import PrivateTradingEngine, ProtocolConfig
 from repro.data import TraceConfig, generate_dataset
@@ -41,6 +52,7 @@ def build_engine(
     session_scope: str = "window",
     transport: str = "local",
     garbling_scheme: str = "classic",
+    fault_plan: FaultPlan = None,
 ) -> PrivateTradingEngine:
     return PrivateTradingEngine(
         params=PAPER_PARAMETERS,
@@ -51,6 +63,7 @@ def build_engine(
             session_scope=session_scope,
             transport=transport,
             garbling_scheme=garbling_scheme,
+            fault_plan=fault_plan,
         ),
     )
 
@@ -80,7 +93,27 @@ def main() -> None:
         "--background-refill", action="store_true",
         help="stock randomizer-pool reservoirs from a background thread",
     )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="inject a seeded deterministic fault plan into the sharded run "
+             "and certify detect-and-recover (see docs/CHAOS.md)",
+    )
     args = parser.parse_args()
+
+    fault_plan = None
+    if args.chaos_seed is not None:
+        kill_shards = (
+            (1,) if args.transport == "socket" and args.workers > 1 else ()
+        )
+        fault_plan = FaultPlan(
+            seed=args.chaos_seed,
+            drop_rate=0.004,
+            reorder_rate=0.004,
+            duplicate_rate=0.004,
+            corrupt_rate=0.004,
+            max_attempts=4,
+            kill_shards=kill_shards,
+        )
 
     print(f"Generating synthetic traces for {args.homes} homes ...")
     dataset = generate_dataset(
@@ -97,9 +130,10 @@ def main() -> None:
     serial = build_engine(
         args.session_scope, args.transport, args.garbling_scheme
     ).run_windows_report(dataset, windows, workers=1)
-    print(f"Sharded run ({plan.workers} workers) ...")
+    chaos_note = f", chaos seed {args.chaos_seed}" if fault_plan is not None else ""
+    print(f"Sharded run ({plan.workers} workers{chaos_note}) ...")
     parallel = build_engine(
-        args.session_scope, args.transport, args.garbling_scheme
+        args.session_scope, args.transport, args.garbling_scheme, fault_plan
     ).run_windows_report(
         dataset,
         windows,
@@ -108,7 +142,7 @@ def main() -> None:
         background_refill=args.background_refill,
     )
 
-    identical = serial.identical_to(parallel)
+    identical = serial.identical_to(parallel, include_incidents=False)
 
     print()
     print("=== Sharded vs. serial ===")
@@ -124,6 +158,16 @@ def main() -> None:
           f"{parallel.wall_seconds:.2f} s ({os.cpu_count()} core(s) available)")
     if args.background_refill:
         print(f"obfuscators stocked in background : {parallel.background_stocked}")
+    if fault_plan is not None:
+        recovered = all(i.recovered for i in parallel.incidents)
+        print(f"chaos incidents (all recovered)   : {len(parallel.incidents)}"
+              f" ({recovered})")
+        for incident in parallel.incidents:
+            where = "day" if incident.window is None else f"window {incident.window}"
+            print(f"  - {where}: {incident.fault} -> {incident.classification} "
+                  f"({incident.action}, attempt {incident.attempt})")
+        if not recovered:
+            raise SystemExit("chaos run finished with unrecovered incidents")
     if not identical:
         raise SystemExit("sharded run diverged from the serial run")
 

@@ -35,7 +35,17 @@ a regenerated file honest:
   scope, day-scope shard invariance at workers 1/2/4,
   ``socket_transport_identical`` (the SocketTransport day run must be
   bit-identical to LocalTransport), and show a day-scope simulated-day
-  speedup of at least 2x (the measured value is ~4x at 6 windows).
+  speedup of at least 2x (the measured value is ~4x at 6 windows);
+* the ``chaos`` section (added with the chaos engine + recovery
+  supervisor) must exist, inject at least one fault, certify every
+  survival-matrix cell (transport x session-scope x workers 1/2/4) as
+  ``recovered`` and ``recovered_identical`` (a recovered chaos run is
+  bit-identical to the fault-free day), hold a ``recovery_rate`` of 1.0,
+  keep ``retry_overhead`` within the supervisor's budget
+  (``max_attempts - 1`` extra attempts per window), and certify
+  ``tamper_fail_closed`` + ``tamper_incident_classified`` (tampered GC
+  material aborts with an attributable integrity_violation — the
+  zero-silent-wrong-answer gate; see ``docs/CHAOS.md``).
 
 Exits non-zero with a list of problems, so it can gate CI.
 """
@@ -346,6 +356,79 @@ def _check_session_reuse(report: dict, problems: list) -> None:
             )
 
 
+_CHAOS_REQUIRED = (
+    "home_count",
+    "windows_executed",
+    "chaos_seed",
+    "max_attempts",
+    "total_incidents",
+    "recovery_rate",
+    "retry_overhead",
+    "tamper_fail_closed",
+    "tamper_incident_classified",
+    "matrix",
+)
+
+_CHAOS_CELL_REQUIRED = (
+    "incidents",
+    "worker_losses",
+    "retried_attempts",
+    "recovered",
+    "recovered_identical",
+)
+
+
+def _check_chaos(report: dict, problems: list) -> None:
+    section = report.get("chaos")
+    if not isinstance(section, dict) or not section:
+        problems.append("missing or empty 'chaos' section")
+        return
+    for key in _CHAOS_REQUIRED:
+        if key not in section:
+            problems.append(f"chaos lacks {key!r}")
+    matrix = section.get("matrix")
+    if not isinstance(matrix, dict) or not matrix:
+        problems.append("chaos lacks a non-empty 'matrix' mapping")
+    else:
+        for name, cell in matrix.items():
+            prefix = f"chaos.matrix[{name!r}]"
+            for key in _CHAOS_CELL_REQUIRED:
+                if key not in cell:
+                    problems.append(f"{prefix} lacks {key!r}")
+            if cell.get("recovered") is not True:
+                problems.append(f"{prefix}.recovered is not true")
+            if cell.get("recovered_identical") is not True:
+                problems.append(
+                    f"{prefix}.recovered_identical is not true — the recovered "
+                    "chaos run diverged from the fault-free day"
+                )
+    total = section.get("total_incidents", 0)
+    if not isinstance(total, int) or total < 1:
+        problems.append(
+            f"chaos.total_incidents {total!r} — the survival matrix must "
+            "actually inject faults"
+        )
+    rate = section.get("recovery_rate", 0.0)
+    if not isinstance(rate, (int, float)) or rate < 1.0:
+        problems.append(
+            f"chaos recovery rate {rate!r} is below the 1.0 floor (unrecovered "
+            "incidents on completed runs)"
+        )
+    overhead = section.get("retry_overhead")
+    budget = section.get("max_attempts", 1)
+    if not isinstance(overhead, (int, float)):
+        problems.append("chaos lacks a numeric 'retry_overhead'")
+    elif isinstance(budget, int) and overhead > budget - 1:
+        problems.append(
+            f"chaos retry overhead {overhead!r} exceeds the supervisor budget "
+            f"({budget - 1} extra attempts per window)"
+        )
+    if section.get("tamper_fail_closed") is not True:
+        problems.append("chaos.tamper_fail_closed is not true")
+    if section.get("tamper_incident_classified") is not True:
+        problems.append("chaos.tamper_incident_classified is not true")
+
+
 def validate(path: Path = BENCH_PATH) -> list:
     problems: list = []
     if not path.exists():
@@ -364,6 +447,7 @@ def validate(path: Path = BENCH_PATH) -> list:
     _check_multiexp(report, problems)
     _check_aggregation_topology(report, problems)
     _check_session_reuse(report, problems)
+    _check_chaos(report, problems)
     return problems
 
 

@@ -34,6 +34,7 @@ DOCS = (
     "docs/ARCHITECTURE.md",
     "docs/TOPOLOGIES.md",
     "docs/SESSIONS.md",
+    "docs/CHAOS.md",
     "docs/BENCHMARKS.md",
 )
 

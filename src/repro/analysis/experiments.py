@@ -64,6 +64,9 @@ __all__ = [
     "experiment_scheme_shard_invariance",
     "SessionReuseObservation",
     "experiment_session_reuse",
+    "ChaosCellObservation",
+    "ChaosMatrixObservation",
+    "experiment_chaos_matrix",
     "sample_market_windows",
 ]
 
@@ -917,3 +920,220 @@ def experiment_table1_bandwidth(
                 )
             )
     return observations
+
+
+# ---------------------------------------------------------------------------
+# Chaos survival matrix (the ``chaos`` section of BENCH_crypto.json).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosCellObservation:
+    """One cell of the chaos survival matrix.
+
+    The same seeded :class:`~repro.chaos.plan.FaultPlan` is run under one
+    (transport, session scope, worker count) combination; recovery must
+    reproduce the fault-free baseline of the same scope bit for bit.
+
+    Attributes:
+        transport: message-fabric transport of the run (``local`` /
+            ``socket``).
+        session_scope: ``window`` or ``day`` (day-scope is the adversarial
+            case for recovery — a retried anchor window must re-establish
+            its sessions exactly as the first attempt did).
+        workers: shard worker count.
+        incidents: classified incidents the run recorded.
+        worker_losses: killed-and-respawned socket shard workers among
+            them (only the socket fan-out has workers to kill).
+        retried_attempts: discarded window attempts — the retry currency
+            behind ``retry_overhead``.
+        recovered: every incident was recovered (no unrecovered entries on
+            a run that completed).
+        recovered_identical: the recovered run is bit-identical
+            (``RunReport.identical_to`` minus the ledger) to the clean
+            baseline of the same scope.
+    """
+
+    transport: str
+    session_scope: str
+    workers: int
+    incidents: int
+    worker_losses: int
+    retried_attempts: int
+    recovered: bool
+    recovered_identical: bool
+
+
+@dataclass(frozen=True)
+class ChaosMatrixObservation:
+    """The chaos engine's certified detect-and-recover report.
+
+    Attributes:
+        home_count: number of agents.
+        windows_executed: market windows per run.
+        chaos_seed: the fault plan's seed.
+        max_attempts: the supervisor's per-window retry budget.
+        cells: the survival matrix (transport x scope x workers).
+        total_incidents: incidents across all cells (must be > 0, or the
+            matrix never actually exercised a fault).
+        recovery_rate: recovered incidents / total incidents.  Completed
+            runs must recover everything, so the floor is 1.0.
+        retry_overhead: worst-case ``retried_attempts / windows_executed``
+            across cells — bounded by ``max_attempts - 1`` by
+            construction.
+        tamper_fail_closed: a run with tampered GC material aborted with
+            :class:`~repro.runtime.supervisor.WindowAbortError` instead of
+            producing a result.
+        tamper_incident_classified: the abort carried an
+            ``integrity_violation`` incident attributing the tamper.
+    """
+
+    home_count: int
+    windows_executed: int
+    chaos_seed: int
+    max_attempts: int
+    cells: Tuple[ChaosCellObservation, ...]
+    total_incidents: int
+    recovery_rate: float
+    retry_overhead: float
+    tamper_fail_closed: bool
+    tamper_incident_classified: bool
+
+
+def experiment_chaos_matrix(
+    home_count: int = 10,
+    sample_count: int = 2,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    transports: Sequence[str] = ("local", "socket"),
+    session_scopes: Sequence[str] = ("window", "day"),
+    chaos_seed: int = 20,
+    crypto_key_size: int = 128,
+    key_size: int = 1024,
+    window_count: int = FULL_DAY_WINDOWS,
+    seed: int = DEFAULT_SEED,
+) -> ChaosMatrixObservation:
+    """Run the seeded fault plan across the survival matrix and certify it.
+
+    One :class:`~repro.chaos.plan.FaultPlan` (frame-fault rates chosen so a
+    sampled day reliably sees injections, plus a mid-window pool drain; the
+    socket multi-worker cells additionally SIGKILL shard 1's worker) is
+    executed under every (transport, session scope, workers) combination.
+    Each cell must retry back to the *bit-identical* fault-free day of its
+    scope, with every incident classified and recovered.  A final run with
+    tampered garbled-circuit material certifies the fail-closed path: the
+    supervisor must abort with an attributable ``integrity_violation``,
+    never return a result.  See ``docs/CHAOS.md``.
+    """
+    from ..chaos import FaultPlan, GcTamper, PoolDrain
+    from ..runtime.supervisor import WindowAbortError
+    from dataclasses import replace as dc_replace
+
+    def build_engine(scope: str, transport: str, fault_plan=None) -> PrivateTradingEngine:
+        return PrivateTradingEngine(
+            params=PAPER_PARAMETERS,
+            config=ProtocolConfig(
+                key_size=crypto_key_size,
+                key_pool_size=4,
+                seed=7,
+                session_scope=scope,
+                transport=transport,
+                fault_plan=fault_plan,
+            ),
+            cost_model=CostModel.for_key_size(key_size),
+        )
+
+    dataset = default_dataset(max(home_count, 300), window_count, seed)
+    windows = sample_market_windows(dataset, home_count, sample_count)
+
+    base_plan = FaultPlan(
+        seed=chaos_seed,
+        drop_rate=0.01,
+        reorder_rate=0.005,
+        duplicate_rate=0.005,
+        corrupt_rate=0.01,
+        max_faults_per_window=2,
+        max_attempts=4,
+        pool_drains=(PoolDrain(window=windows[0]),) if windows else (),
+    )
+
+    baselines = {
+        scope: build_engine(scope, "local").run_windows_report(
+            dataset, windows, home_count=home_count, workers=1
+        )
+        for scope in session_scopes
+    }
+
+    cells = []
+    total_incidents = 0
+    recovered_incidents = 0
+    worst_overhead = 0.0
+    for transport in transports:
+        for scope in session_scopes:
+            for workers in worker_counts:
+                plan = base_plan
+                if transport == "socket" and workers > 1:
+                    plan = dc_replace(base_plan, kill_shards=(1,))
+                report = build_engine(scope, transport, plan).run_windows_report(
+                    dataset, windows, home_count=home_count, workers=workers
+                )
+                retried = len(
+                    {
+                        (i.window, i.attempt)
+                        for i in report.incidents
+                        if i.action == "retry" and i.window is not None
+                    }
+                )
+                overhead = retried / max(len(report.traces), 1)
+                worst_overhead = max(worst_overhead, overhead)
+                total_incidents += len(report.incidents)
+                recovered_incidents += sum(1 for i in report.incidents if i.recovered)
+                cells.append(
+                    ChaosCellObservation(
+                        transport=transport,
+                        session_scope=scope,
+                        workers=workers,
+                        incidents=len(report.incidents),
+                        worker_losses=sum(
+                            1
+                            for i in report.incidents
+                            if i.classification == "worker_loss"
+                        ),
+                        retried_attempts=retried,
+                        recovered=all(i.recovered for i in report.incidents),
+                        recovered_identical=report.identical_to(
+                            baselines[scope], include_incidents=False
+                        ),
+                    )
+                )
+
+    tamper_plan = FaultPlan(
+        seed=chaos_seed,
+        tampers=(GcTamper(window=windows[0]),) if windows else (),
+    )
+    tamper_fail_closed = False
+    tamper_classified = False
+    try:
+        build_engine("window", "local", tamper_plan).run_windows_report(
+            dataset, windows, home_count=home_count, workers=1
+        )
+    except WindowAbortError as exc:
+        tamper_fail_closed = True
+        tamper_classified = any(
+            i.fault == "gc_tamper" and i.classification == "integrity_violation"
+            for i in exc.incidents
+        )
+
+    return ChaosMatrixObservation(
+        home_count=home_count,
+        windows_executed=len(windows),
+        chaos_seed=chaos_seed,
+        max_attempts=base_plan.max_attempts,
+        cells=tuple(cells),
+        total_incidents=total_incidents,
+        recovery_rate=(
+            recovered_incidents / total_incidents if total_incidents else 0.0
+        ),
+        retry_overhead=worst_overhead,
+        tamper_fail_closed=tamper_fail_closed,
+        tamper_incident_classified=tamper_classified,
+    )

@@ -1,0 +1,38 @@
+"""Deterministic chaos engineering for the PEM reproduction.
+
+Seeded fault injection at every seam the runtime actually has — transport
+frames, precomputed pools, prepared GC material, socket shard workers —
+paired with the :class:`~repro.runtime.supervisor.WindowSupervisor` that
+certifies detect-and-recover: a chaos run that retries to success is
+bit-identical to the fault-free run, and tampering fails closed with an
+attributable incident, never a silent wrong answer.  See ``docs/CHAOS.md``.
+"""
+
+from .controller import ChaosController, tamper_prepared_comparison
+from .plan import FAULT_KINDS, FRAME_FAULT_KINDS, FaultPlan, GcTamper, PoolDrain
+from .transport import (
+    FaultyTransport,
+    FrameCorruptionError,
+    FrameDropError,
+    FrameDuplicateError,
+    FrameFaultError,
+    FrameReorderError,
+    InjectedFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FRAME_FAULT_KINDS",
+    "FaultPlan",
+    "PoolDrain",
+    "GcTamper",
+    "ChaosController",
+    "tamper_prepared_comparison",
+    "FaultyTransport",
+    "InjectedFault",
+    "FrameFaultError",
+    "FrameDropError",
+    "FrameReorderError",
+    "FrameDuplicateError",
+    "FrameCorruptionError",
+]

@@ -57,6 +57,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ...chaos.plan import FaultPlan
 from ...crypto.accel import RandomizerPool
 from ...crypto.fixedpoint import DEFAULT_PRECISION, FixedPointCodec
 from ...crypto.gc_pool import ComparisonPool
@@ -151,6 +152,14 @@ class ProtocolConfig:
             Comparison *outcomes* are identical across schemes on identical
             inputs; labels and table bytes necessarily differ.  The classic
             inline fallback of a drained pool is scheme-independent.
+        fault_plan: optional seeded :class:`~repro.chaos.plan.FaultPlan`.
+            When set, every window runs under the
+            :class:`~repro.runtime.supervisor.WindowSupervisor`: the plan's
+            faults are injected deterministically, failures are classified
+            and retried (or failed closed), and every incident is recorded
+            in ``RunReport.incidents``.  A run that recovers is
+            bit-identical to the fault-free run; ``None`` (the default)
+            leaves the execution path untouched.  See ``docs/CHAOS.md``.
     """
 
     key_size: int = 512
@@ -168,6 +177,7 @@ class ProtocolConfig:
     session_scope: str = "window"
     transport: str = "local"
     garbling_scheme: str = "classic"
+    fault_plan: Optional[FaultPlan] = None
 
 
 def _derived_rng(seed: int, *labels: object) -> random.Random:

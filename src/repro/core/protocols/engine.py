@@ -161,6 +161,11 @@ class PrivateTradingEngine:
         #: replaced per shard by :meth:`execute_shard` so the anchor window
         #: is consistent across workers — see :mod:`repro.net.session`).
         self.sessions = SessionManager(config.session_scope)
+        #: incident ledger of the last :meth:`execute_shard` call — empty
+        #: unless ``config.fault_plan`` put the shard under the
+        #: :class:`~repro.runtime.supervisor.WindowSupervisor`.  Collected
+        #: by the runner into ``RunReport.incidents``.
+        self.last_shard_incidents: list = []
         if config.transport not in TRANSPORTS:
             raise ValueError(
                 f"unknown transport {config.transport!r}; expected one of {TRANSPORTS}"
@@ -411,9 +416,18 @@ class PrivateTradingEngine:
             ``(traces, stats)`` — one trace per selected window in ascending
             order, and the collected stats (empty unless ``collect_stats``).
         """
+        from ...runtime.supervisor import WindowSupervisor
+
         selected = sorted(set(windows))
+        self.last_shard_incidents = []
         if not selected:
             return [], []
+        supervisor = WindowSupervisor.for_config(self.config)
+        if supervisor is not None and reuse_network:
+            raise ValueError(
+                "chaos supervision requires fresh-network-per-window "
+                "(a retried attempt must discard its accounting wholesale)"
+            )
         # A fresh session manager per shard: every worker agrees on the
         # anchor window, and repeated runs on one engine stay deterministic.
         anchor = session_anchor if session_anchor is not None else selected[0]
@@ -436,6 +450,18 @@ class PrivateTradingEngine:
                 )
                 states = states_for_window(agents, trimmed)
                 if window_slice.window not in wanted:
+                    continue
+                if supervisor is not None:
+                    # Supervised path: the supervisor owns the per-attempt
+                    # networks, classifies failures, retries or fails
+                    # closed, and returns the certified attempt.
+                    trace, window_stats, incidents = supervisor.run_window(
+                        self, window_slice.window, states
+                    )
+                    traces.append(trace)
+                    if collect_stats:
+                        stats.append(window_stats)
+                    self.last_shard_incidents.extend(incidents)
                     continue
                 network = shared_network or self.build_network()
                 try:

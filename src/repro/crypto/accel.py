@@ -474,6 +474,20 @@ class RandomizerPool:
             self._pool.clear()
         return moved
 
+    def force_drain(self) -> int:
+        """Discard every pooled obfuscator (chaos hook, resource exhaustion).
+
+        Unlike :meth:`recycle`, the values are *lost* — a mid-window
+        failure of the precompute store, not a window boundary.  Later
+        :meth:`take` calls pay the online exponentiation and are counted
+        in :attr:`fallback_count`, which is what makes the injected
+        exhaustion detectable.  Reservoir and accounting are untouched.
+        Returns the number of obfuscators discarded.
+        """
+        discarded = len(self._pool)
+        self._pool.clear()
+        return discarded
+
     # -- offline phase ---------------------------------------------------------
 
     def refill(self, count: int) -> int:

@@ -405,6 +405,30 @@ class ComparisonPool:
             return 0
         return self.refill(deficit)
 
+    def force_drain(self) -> int:
+        """Discard every pooled instance (chaos hook, resource exhaustion).
+
+        Models a mid-window loss of the precomputed material (evicted
+        cache, restarted container): the accounted pool empties without
+        recycling, so subsequent :meth:`take` calls fall back to the
+        classic protocol and are *counted* — the signature the recovery
+        supervisor classifies as resource exhaustion.  The reservoir and
+        the ``produced``/``consumed`` accounting are untouched.  Returns
+        the number of instances discarded.
+        """
+        discarded = len(self._pool)
+        self._pool.clear()
+        return discarded
+
+    def peek(self) -> Optional[PreparedComparison]:
+        """The next instance :meth:`take` would hand out, without taking it.
+
+        Chaos hook: lets the fault injector tamper prepared material in
+        place so the *online evaluation* — not the injector — detects the
+        corruption and fails closed.
+        """
+        return self._pool[0] if self._pool else None
+
     # -- online phase ----------------------------------------------------------
 
     def take(self) -> Optional[PreparedComparison]:

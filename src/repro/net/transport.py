@@ -42,6 +42,8 @@ from .message import Message
 
 __all__ = [
     "TransportError",
+    "FrameError",
+    "ConnectionLostError",
     "Transport",
     "LocalTransport",
     "SocketTransport",
@@ -64,6 +66,74 @@ Sink = Callable[[Message], None]
 
 class TransportError(Exception):
     """Raised on transport-level misuse (unknown endpoint, closed transport)."""
+
+
+class FrameError(TransportError):
+    """A transport failure attributable to one specific frame.
+
+    Where a plain :class:`TransportError` says "the channel broke", a
+    ``FrameError`` says *which* frame broke it: it carries the sender, the
+    recipient, the frame's per-transport ordinal and the message kind, so
+    the runtime's incident classification (see
+    :mod:`repro.runtime.supervisor`) can attribute the failure to a party
+    pair and a protocol step instead of a bare string.  The chaos
+    engine's injected fault errors subclass this with a ``fault`` tag.
+
+    Attributes:
+        sender: message sender id (``None`` when unknown).
+        recipient: message recipient id.
+        ordinal: 0-based index of the frame on this transport connection.
+        kind: the protocol message kind, as a string.
+        fault: short machine-readable failure tag (``"connection-lost"``
+            for a half-closed socket; the chaos faults use their kind).
+    """
+
+    fault = "frame-error"
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        sender: Optional[str] = None,
+        recipient: Optional[str] = None,
+        ordinal: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> None:
+        context = ", ".join(
+            f"{label}={value!r}"
+            for label, value in (
+                ("sender", sender),
+                ("recipient", recipient),
+                ("frame", ordinal),
+                ("kind", kind),
+            )
+            if value is not None
+        )
+        super().__init__(f"{detail} [{context}]" if context else detail)
+        self._detail = detail
+        self.sender = sender
+        self.recipient = recipient
+        self.ordinal = ordinal
+        self.kind = kind
+
+    def __reduce__(self):
+        # Keyword-only context would be dropped by the default exception
+        # pickling (args-only); these errors cross socket acks and shard
+        # connections, so preserve the attribution.
+        return (
+            _rebuild_frame_error,
+            (type(self), self._detail, self.sender, self.recipient, self.ordinal, self.kind),
+        )
+
+
+def _rebuild_frame_error(cls, detail, sender, recipient, ordinal, kind):
+    return cls(detail, sender=sender, recipient=recipient, ordinal=ordinal, kind=kind)
+
+
+class ConnectionLostError(FrameError):
+    """The socket half-closed while a specific frame awaited its ack."""
+
+    fault = "connection-lost"
 
 
 # ---------------------------------------------------------------------------
@@ -163,6 +233,7 @@ class SocketTransport(Transport):
     def __init__(self, host: str = "127.0.0.1") -> None:
         self._sinks: Dict[str, Sink] = {}
         self._closed = False
+        self._frames_sent = 0
         self._lock = threading.Lock()
         self._listener = socket.create_server((host, 0))
         port = self._listener.getsockname()[1]
@@ -218,10 +289,20 @@ class SocketTransport(Transport):
         with self._lock:
             if self._closed:
                 raise TransportError("transport is closed")
+            ordinal = self._frames_sent
+            self._frames_sent += 1
             send_frame(self._sender, pickle.dumps(message))
             reply = recv_frame(self._sender)
         if reply is None:
-            raise TransportError("socket transport connection lost")
+            # A half-closed connection is attributable: the incident
+            # classifier needs to know *whose* frame went unacknowledged.
+            raise ConnectionLostError(
+                "socket transport connection lost awaiting ack",
+                sender=message.sender,
+                recipient=message.recipient,
+                ordinal=ordinal,
+                kind=message.kind.value,
+            )
         if reply[:1] != self._ACK_OK:
             raise pickle.loads(reply[1:])
 

@@ -8,7 +8,9 @@ run on a background thread during real idle time.  This package provides:
 * :class:`ParallelRunner` / :class:`RunReport` — shard execution, worker
   management and bit-stable result/stats merging,
 * :class:`BackgroundRefiller` — idle-time randomizer-pool refills,
-* :class:`EngineSpec` — a pickleable engine recipe for worker processes.
+* :class:`EngineSpec` — a pickleable engine recipe for worker processes,
+* :class:`WindowSupervisor` / :class:`Incident` — chaos-aware failure
+  classification and certified detect-and-recover (see ``docs/CHAOS.md``).
 
 See ``docs/ARCHITECTURE.md`` for the sharding/merge model and a worked
 ``ExecutionPlan`` example.
@@ -17,6 +19,7 @@ See ``docs/ARCHITECTURE.md`` for the sharding/merge model and a worked
 from .plan import ExecutionPlan
 from .refill import BackgroundRefiller
 from .runner import EngineSpec, ParallelRunner, RunReport
+from .supervisor import Incident, WindowAbortError, WindowSupervisor
 
 __all__ = [
     "ExecutionPlan",
@@ -24,4 +27,7 @@ __all__ = [
     "EngineSpec",
     "ParallelRunner",
     "RunReport",
+    "Incident",
+    "WindowAbortError",
+    "WindowSupervisor",
 ]

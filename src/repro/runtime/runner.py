@@ -28,17 +28,20 @@ the Fig. 5-style quantity that scales near-linearly with workers.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import selectors
+import signal
 import socket
 import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..net.stats import TrafficStats
 from ..net.transport import recv_frame, send_frame
 from .plan import ExecutionPlan
 from .refill import BackgroundRefiller
+from .supervisor import Incident
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
     from ..core.protocols.engine import PrivateTradingEngine, PrivateWindowTrace
@@ -93,6 +96,10 @@ class _ShardPayload:
     #: the run's global first window — the day-scope session anchor every
     #: worker must agree on (see :mod:`repro.net.session`).
     session_anchor: Optional[int] = None
+    #: chaos hook: a socket worker receiving this SIGKILLs itself after
+    #: its first window (see ``FaultPlan.kill_shards``); the parent
+    #: respawns the shard with the flag stripped.
+    chaos_kill: bool = False
 
 
 @dataclass
@@ -104,6 +111,8 @@ class _ShardOutcome:
     window_stats: List[TrafficStats]
     wall_seconds: float
     stocked: int = 0
+    #: classified incidents of this shard's supervised windows.
+    incidents: List[Incident] = field(default_factory=list)
 
 
 #: Dataset installed into each pooled worker by :func:`_worker_init`.
@@ -145,6 +154,10 @@ def _run_payload(engine: "PrivateTradingEngine", payload: _ShardPayload) -> _Sha
         window_stats=window_stats,
         wall_seconds=time.perf_counter() - start,
         stocked=refiller.total_stocked if refiller is not None else 0,
+        incidents=[
+            replace(incident, shard_index=payload.shard_index)
+            for incident in engine.last_shard_incidents
+        ],
     )
 
 
@@ -166,13 +179,28 @@ def _socket_shard_worker(host: str, port: int) -> None:
     :class:`_ShardOutcome` back over the same connection.  The wire format
     is the same length-prefixed framing the message-level
     :class:`~repro.net.transport.SocketTransport` speaks.
+
+    A failing shard ships its *exception* back instead of dying silently,
+    so the parent can distinguish a deliberate fail-closed abort (which
+    must propagate) from a killed worker (which the parent respawns).  A
+    payload flagged ``chaos_kill`` executes its first window for real and
+    then SIGKILLs itself — the chaos engine's mid-shard worker-loss fault.
     """
     with socket.create_connection((host, port)) as conn:
         frame = recv_frame(conn)
         if frame is None:  # pragma: no cover - parent died before sending
             return
         payload: _ShardPayload = pickle.loads(frame)
-        outcome = _run_payload(payload.spec.build(), payload)
+        if payload.chaos_kill:
+            probe = replace(
+                payload, windows=tuple(payload.windows)[:1], chaos_kill=False
+            )
+            _run_payload(probe.spec.build(), probe)
+            os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            outcome: Any = _run_payload(payload.spec.build(), payload)
+        except BaseException as exc:  # ship the failure, don't die silently
+            outcome = exc
         send_frame(conn, pickle.dumps(outcome))
 
 
@@ -191,6 +219,9 @@ class RunReport:
         shard_wall_seconds: host wall-clock per shard.
         background_stocked: obfuscators precomputed by background refillers
             across all workers.
+        incidents: the run's classified incident ledger (chaos injections,
+            organic failures, killed-and-respawned workers), in
+            deterministic window order.  Empty for unsupervised runs.
     """
 
     plan: ExecutionPlan
@@ -199,15 +230,28 @@ class RunReport:
     wall_seconds: float = 0.0
     shard_wall_seconds: Tuple[float, ...] = ()
     background_stocked: int = 0
+    incidents: List[Incident] = field(default_factory=list)
 
-    def identical_to(self, other: "RunReport") -> bool:
+    def identical_to(self, other: "RunReport", include_incidents: bool = True) -> bool:
         """Bit-for-bit equality of traces and merged stats with ``other``.
 
         The canonical determinism certificate: every ``WindowResult``,
         per-trace measurement and merged ``TrafficStats`` aggregate must
         match exactly (floats compared with ``==``).  Used by the parallel
         benchmarks and examples so they all enforce the same definition.
+
+        With ``include_incidents`` (the default) the incident ledgers must
+        match too — two runs of the same fault plan certify each other.
+        Pass ``include_incidents=False`` to certify a *recovered* chaos run
+        against a fault-free baseline: the result/stats fields must still
+        be bit-identical, but the chaos run is allowed (expected) to carry
+        the incidents the baseline never saw.
         """
+        if include_incidents:
+            ours = tuple(i.signature() for i in self.incidents)
+            theirs = tuple(i.signature() for i in other.incidents)
+            if ours != theirs:
+                return False
         if len(self.traces) != len(other.traces):
             return False
         for a, b in zip(self.traces, other.traces):
@@ -339,6 +383,14 @@ class ParallelRunner:
 
         inline = plan.workers == 1
         session_anchor = min(plan.windows)
+        # Worker-kill chaos only makes sense where a worker process exists
+        # to kill and the parent can observe the loss: socket fan-out.
+        fault_plan = getattr(engine.config, "fault_plan", None)
+        kill_shards = (
+            frozenset(fault_plan.kill_shards)
+            if fault_plan is not None and self.transport == "socket" and not inline
+            else frozenset()
+        )
         payloads = [
             _ShardPayload(
                 shard_index=index,
@@ -353,14 +405,16 @@ class ParallelRunner:
                 background_refill=self.background_refill,
                 refill_target=self.refill_target,
                 session_anchor=session_anchor,
+                chaos_kill=index in kill_shards,
             )
             for index, shard in enumerate(plan.shards)
         ]
 
+        worker_incidents: List[Incident] = []
         if inline:
             outcomes = [_run_payload(engine, payloads[0])]
         elif self.transport == "socket":
-            outcomes = self._run_socket(payloads, dataset)
+            outcomes = self._run_socket(payloads, dataset, worker_incidents)
         else:
             context = multiprocessing.get_context(self.start_method)
             with context.Pool(
@@ -368,14 +422,21 @@ class ParallelRunner:
             ) as pool:
                 outcomes = pool.map(_execute_shard, payloads)
 
-        report = self._merge(plan, outcomes)
+        report = self._merge(plan, outcomes, worker_incidents)
         report.wall_seconds = time.perf_counter() - started
         return report
 
     # -- socket shard fan-out ----------------------------------------------------
 
+    #: How many times one shard's worker may die (and be respawned) before
+    #: the run fails closed instead of retrying forever.
+    MAX_RESPAWNS_PER_SHARD = 2
+
     def _run_socket(
-        self, payloads: Sequence[_ShardPayload], dataset: Any
+        self,
+        payloads: Sequence[_ShardPayload],
+        dataset: Any,
+        worker_incidents: List[Incident],
     ) -> List[_ShardOutcome]:
         """Ship shard payloads to worker processes over loopback TCP.
 
@@ -395,20 +456,40 @@ class ParallelRunner:
         kill) fails the run instead of hanging it — once every exited
         process is accounted for by a served connection, an extra death
         means a connection that will never come.
+
+        Recovery: a worker that dies *after* connecting (its connection
+        hits EOF with no outcome — e.g. a ``chaos_kill`` SIGKILL, or a real
+        OOM kill) is respawned and its whole shard payload re-enqueued with
+        the kill flag stripped, up to :data:`MAX_RESPAWNS_PER_SHARD` per
+        shard.  The respawned worker rebuilds its engine from scratch, so
+        the re-run recomputes every shard window exactly as a clean run
+        would — the dead worker's partial work is discarded wholesale and
+        the merged report stays bit-identical.  Each loss is recorded as a
+        ``worker_loss`` incident in ``worker_incidents``.  A worker that
+        instead *ships an exception* (a fail-closed ``WindowAbortError``)
+        has that exception re-raised here — deliberate aborts propagate,
+        they are never retried at the shard level.
         """
         context = multiprocessing.get_context(self.start_method)
         outcomes: List[_ShardOutcome] = []
         processes: List[Any] = []
         connections: List[socket.socket] = []
+        pending: List[_ShardPayload] = list(payloads)
+        respawns: Dict[int, int] = {}
         try:
             with socket.create_server(("127.0.0.1", 0)) as server:
                 host, port = server.getsockname()[:2]
-                processes = [
-                    context.Process(target=_socket_shard_worker, args=(host, port))
-                    for _ in payloads
-                ]
-                for process in processes:
+
+                def spawn_worker() -> None:
+                    process = context.Process(
+                        target=_socket_shard_worker, args=(host, port)
+                    )
                     process.start()
+                    processes.append(process)
+
+                for _ in payloads:
+                    spawn_worker()
+                conn_payloads: Dict[socket.socket, _ShardPayload] = {}
                 with selectors.DefaultSelector() as selector:
                     selector.register(server, selectors.EVENT_READ)
                     while len(outcomes) < len(payloads):
@@ -425,27 +506,57 @@ class ParallelRunner:
                             if key.fileobj is server:
                                 conn, _ = server.accept()
                                 conn.settimeout(None)  # shards take a while
+                                payload = pending.pop(0)
                                 send_frame(
                                     conn,
-                                    pickle.dumps(
-                                        replace(
-                                            payloads[len(connections)],
-                                            dataset=dataset,
-                                        )
-                                    ),
+                                    pickle.dumps(replace(payload, dataset=dataset)),
                                 )
                                 connections.append(conn)
+                                conn_payloads[conn] = payload
                                 selector.register(conn, selectors.EVENT_READ)
                             else:
                                 conn = key.fileobj
                                 selector.unregister(conn)
                                 frame = recv_frame(conn)
                                 if frame is None:
-                                    raise RuntimeError(
-                                        "socket shard worker exited without "
-                                        "returning an outcome"
+                                    # The worker died mid-shard with no
+                                    # outcome: respawn and re-run the shard.
+                                    lost = conn_payloads.pop(conn)
+                                    shard = lost.shard_index
+                                    respawns[shard] = respawns.get(shard, 0) + 1
+                                    if respawns[shard] > self.MAX_RESPAWNS_PER_SHARD:
+                                        raise RuntimeError(
+                                            f"socket shard worker for shard {shard} "
+                                            f"died {respawns[shard]} times; "
+                                            "giving up (see worker stderr)"
+                                        )
+                                    worker_incidents.append(
+                                        Incident(
+                                            window=None,
+                                            fault="worker_kill",
+                                            classification="worker_loss",
+                                            action="respawn",
+                                            attempt=respawns[shard] - 1,
+                                            recovered=True,
+                                            detail=(
+                                                f"shard {shard} worker connection hit "
+                                                "EOF before returning an outcome; "
+                                                "shard re-enqueued on a fresh worker"
+                                            ),
+                                            shard_index=shard,
+                                        )
                                     )
-                                outcomes.append(pickle.loads(frame))
+                                    pending.append(replace(lost, chaos_kill=False))
+                                    spawn_worker()
+                                    continue
+                                result = pickle.loads(frame)
+                                if isinstance(result, BaseException):
+                                    # A deliberate fail-closed abort from a
+                                    # supervised window — propagate, never
+                                    # retry an integrity violation here.
+                                    raise result
+                                conn_payloads.pop(conn, None)
+                                outcomes.append(result)
         finally:
             for conn in connections:
                 conn.close()
@@ -459,7 +570,11 @@ class ParallelRunner:
     # -- deterministic merge -----------------------------------------------------
 
     @staticmethod
-    def _merge(plan: ExecutionPlan, outcomes: Sequence[_ShardOutcome]) -> RunReport:
+    def _merge(
+        plan: ExecutionPlan,
+        outcomes: Sequence[_ShardOutcome],
+        worker_incidents: Sequence[Incident] = (),
+    ) -> RunReport:
         ordered = sorted(outcomes, key=lambda o: o.shard_index)
         traces: List["PrivateWindowTrace"] = []
         keyed_stats: List[Tuple[int, TrafficStats]] = []
@@ -483,10 +598,24 @@ class ParallelRunner:
         for stats in extra_stats:
             merged.merge(stats)
 
+        # Window order first (shard-independent), shard-level worker-loss
+        # incidents (window None) last — the ledger order is deterministic
+        # for a given fault plan no matter how windows were sharded.
+        incidents = [i for o in ordered for i in o.incidents]
+        incidents.extend(worker_incidents)
+        incidents.sort(
+            key=lambda i: (
+                i.window if i.window is not None else 10**9,
+                i.attempt,
+                i.fault,
+            )
+        )
+
         return RunReport(
             plan=plan,
             traces=traces,
             stats=merged,
             shard_wall_seconds=tuple(o.wall_seconds for o in ordered),
             background_stocked=sum(o.stocked for o in ordered),
+            incidents=incidents,
         )

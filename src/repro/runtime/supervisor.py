@@ -1,0 +1,327 @@
+"""Window-level failure supervision: detect, classify, decide, record.
+
+The :class:`WindowSupervisor` wraps the engine's per-window execution in a
+closed loop:
+
+1. **detect** — run the window over a fresh, chaos-instrumented network
+   and catch anything that goes wrong (typed transport frame errors,
+   protocol-level ``NetworkError``, comparison/garbling integrity errors);
+2. **classify** — map the failure and the attempt's injected-fault ledger
+   to one of three incident classes:
+
+   ============================  =============================================
+   classification                meaning
+   ============================  =============================================
+   ``transient_transport``       a frame was dropped / reordered / duplicated /
+                                 corrupted (or the channel half-closed) —
+                                 the channel detected it, nothing leaked
+   ``resource_exhaustion``       precomputed pools drained mid-window; the
+                                 window completed but paid counted fallbacks
+   ``integrity_violation``       prepared GC material was tampered with —
+                                 an *adversary*, not an outage
+   ============================  =============================================
+
+3. **decide** — transient and resource incidents are retried (exponential
+   wall-clock backoff, never charged to the simulated clocks); integrity
+   incidents and exhausted retry budgets **fail closed**: the run aborts
+   with :class:`WindowAbortError`, never a silent wrong answer;
+4. **record** — every injected fault and every decision lands as exactly
+   one :class:`Incident` in the run's ledger
+   (:attr:`repro.runtime.runner.RunReport.incidents`).
+
+Recovery preserves bit-identity: each attempt runs over a fresh network
+(failed attempts discard their accounting wholesale), pool warm-ups are a
+per-window deterministic function already, and the engine's session state
+is snapshotted before each attempt and restored on retry — so a retried
+anchor window re-establishes (and re-charges) its day sessions exactly as
+the clean run did.  A chaos run that retries to success is therefore
+certified bit-identical to the fault-free run by the ordinary
+``RunReport.identical_to``.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..crypto.gc_pool import ComparisonError
+from ..crypto.garbled import GarblingError
+from ..crypto.otext import OTExtensionError
+from ..crypto.secure_comparison import SecureComparisonError
+from ..net.network import NetworkError
+from ..net.transport import TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from ..chaos.plan import FaultPlan
+    from ..chaos.transport import InjectedFault
+    from ..core.agent import AgentWindowState
+    from ..core.protocols.engine import PrivateTradingEngine, PrivateWindowTrace
+    from ..net.stats import TrafficStats
+
+__all__ = ["Incident", "WindowAbortError", "WindowSupervisor", "CLASSIFICATIONS"]
+
+#: The supervisor's incident classes.
+CLASSIFICATIONS = ("transient_transport", "resource_exhaustion", "integrity_violation", "worker_loss")
+
+#: Failures the supervisor retries: the channel (or the protocol's
+#: lock-step read discipline) detected a transport-level problem.
+_TRANSIENT_ERRORS = (TransportError, NetworkError)
+
+#: Failures the supervisor never retries: the *cryptographic material*
+#: failed authentication — retrying would mask an active adversary.
+_INTEGRITY_ERRORS = (ComparisonError, SecureComparisonError, GarblingError, OTExtensionError)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One classified entry of a run's incident ledger.
+
+    Every field is deterministic (no wall-clock, no process state), so two
+    runs of the same fault plan produce equal ledgers and
+    ``RunReport.identical_to`` can fold incidents into the certificate.
+
+    Attributes:
+        window: window index the incident occurred in (``None`` for
+            shard-level incidents such as a killed worker).
+        fault: the injected fault kind (``drop`` / ``reorder`` /
+            ``duplicate`` / ``corrupt`` / ``pool_drain`` / ``gc_tamper`` /
+            ``worker_kill``), or the detected failure tag for organic
+            faults.
+        classification: one of :data:`CLASSIFICATIONS`.
+        action: what the supervisor decided — ``"retry"``,
+            ``"abort"`` or ``"respawn"`` (shard level).
+        attempt: 0-based attempt the incident occurred on.
+        recovered: whether the run went on to succeed past this incident.
+        detail: human-readable attribution (party pair, frame ordinal,
+            message kind, fallback counts …).
+        shard_index: shard the incident occurred in (stamped by the
+            runner; ``None`` for inline runs, and deliberately excluded
+            from the ledger signature so serial and sharded runs of one
+            plan stay comparable).
+    """
+
+    window: Optional[int]
+    fault: str
+    classification: str
+    action: str
+    attempt: int = 0
+    recovered: bool = False
+    detail: str = ""
+    shard_index: Optional[int] = None
+
+    def signature(self) -> Tuple:
+        """The deterministic identity folded into ``identical_to``."""
+        return (
+            self.window,
+            self.fault,
+            self.classification,
+            self.action,
+            self.attempt,
+            self.recovered,
+        )
+
+
+class WindowAbortError(RuntimeError):
+    """A window failed closed: no retry is safe (or none is left).
+
+    Carries the full incident ledger of the aborted window so the failure
+    stays attributable all the way up through shard workers (the error
+    pickles across socket fan-out connections).
+    """
+
+    def __init__(self, message: str, incidents: Sequence[Incident] = ()) -> None:
+        super().__init__(message)
+        self.incidents: List[Incident] = list(incidents)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], tuple(self.incidents)))
+
+
+class WindowSupervisor:
+    """Runs windows under a fault plan with certified detect-and-recover.
+
+    Args:
+        plan: the :class:`~repro.chaos.plan.FaultPlan` to inject (a
+            zero-fault plan supervises without injecting — organic
+            failures are still classified and retried).
+
+    The retry budget and backoff policy live on the plan
+    (``max_attempts``, ``backoff_base``, ``backoff_factor``) so they ship
+    to shard workers with the config.
+    """
+
+    def __init__(self, plan: "FaultPlan") -> None:
+        self.plan = plan
+
+    @classmethod
+    def for_config(cls, config) -> Optional["WindowSupervisor"]:
+        """The supervisor an engine config asks for (``None`` when unsupervised)."""
+        plan = getattr(config, "fault_plan", None)
+        return None if plan is None else cls(plan)
+
+    # -- the supervised loop -----------------------------------------------------
+
+    def run_window(
+        self,
+        engine: "PrivateTradingEngine",
+        window: int,
+        states: Sequence["AgentWindowState"],
+    ) -> Tuple["PrivateWindowTrace", "TrafficStats", List[Incident]]:
+        """Run one window with injection, classification and recovery.
+
+        Returns ``(trace, stats, incidents)`` for the (first) successful
+        attempt; raises :class:`WindowAbortError` on an integrity
+        violation or an exhausted retry budget.
+        """
+        from ..chaos.controller import ChaosController
+
+        plan = self.plan
+        incidents: List[Incident] = []
+        for attempt in range(plan.max_attempts):
+            # Sessions must be re-established by a retried window exactly
+            # like the first attempt did (a retried day-scope anchor must
+            # re-account the establishment) — snapshot and restore.
+            session_snapshot = copy.deepcopy(engine.sessions)
+            controller = ChaosController(
+                plan,
+                window,
+                attempt,
+                engine.keyring,
+                comparison_bits=engine.config.comparison_bits,
+            )
+            network = controller.instrument(engine.build_network())
+            try:
+                trace = engine.run_window(window, states, network=network)
+            except _INTEGRITY_ERRORS as exc:
+                network.close()
+                incidents.extend(
+                    self._classify_failure(controller.injected, exc, attempt, force="integrity_violation")
+                )
+                raise WindowAbortError(
+                    f"window {window} failed closed (integrity violation): {exc}",
+                    incidents,
+                ) from exc
+            except _TRANSIENT_ERRORS as exc:
+                network.close()
+                engine.sessions = session_snapshot
+                incidents.extend(self._classify_failure(controller.injected, exc, attempt))
+                self._decide_retry(window, attempt, incidents)
+                continue
+            # The attempt completed — but an attempt that had faults
+            # injected is quarantined, not trusted: tampering fails closed
+            # even if the tampered material went unconsumed, and any other
+            # injected fault forces a clean re-run so the accepted result
+            # is certifiably fault-free.
+            ledger = controller.injected
+            if any(f.kind == "gc_tamper" for f in ledger):
+                network.close()
+                incidents.extend(self._classify_completed(ledger, trace, attempt))
+                raise WindowAbortError(
+                    f"window {window} failed closed: tampered GC material was "
+                    "injected this attempt; result quarantined",
+                    incidents,
+                )
+            if ledger:
+                network.close()
+                engine.sessions = session_snapshot
+                incidents.extend(self._classify_completed(ledger, trace, attempt))
+                self._decide_retry(window, attempt, incidents)
+                continue
+            # Clean attempt: mark everything before it as recovered.
+            network.close()
+            incidents = [replace(i, recovered=True) for i in incidents]
+            return trace, network.stats, incidents
+        raise AssertionError("unreachable: retry loop exits via return or abort")
+
+    # -- classification ----------------------------------------------------------
+
+    def _classify_failure(
+        self,
+        ledger: Sequence["InjectedFault"],
+        exc: BaseException,
+        attempt: int,
+        force: Optional[str] = None,
+    ) -> List[Incident]:
+        """One incident per injected fault; the exception attributes organics."""
+        action = "abort" if force == "integrity_violation" else "retry"
+        if ledger:
+            return [
+                Incident(
+                    window=fault.window,
+                    fault=fault.kind,
+                    classification=force or self._classification_for(fault.kind),
+                    action=action,
+                    attempt=attempt,
+                    detail=fault.detail or str(exc),
+                )
+                for fault in ledger
+            ]
+        # No injected fault: an organic failure.  Attribute it from the
+        # exception's frame context when it has one.
+        fault_tag = getattr(exc, "fault", None) or type(exc).__name__
+        window = None
+        return [
+            Incident(
+                window=window,
+                fault=fault_tag,
+                classification=force or "transient_transport",
+                action=action,
+                attempt=attempt,
+                detail=str(exc),
+            )
+        ]
+
+    def _classify_completed(
+        self, ledger: Sequence["InjectedFault"], trace, attempt: int
+    ) -> List[Incident]:
+        incidents = []
+        for fault in ledger:
+            if fault.kind == "gc_tamper":
+                classification, action = "integrity_violation", "abort"
+                detail = fault.detail
+            elif fault.kind == "pool_drain":
+                classification, action = "resource_exhaustion", "retry"
+                detail = (
+                    f"{fault.detail}; window paid {trace.pool_fallback_count} "
+                    f"randomizer + {trace.gc_fallback_count} comparison fallbacks"
+                )
+            else:
+                classification, action = "transient_transport", "retry"
+                detail = f"{fault.detail}; frame fault left no failure, re-run forced"
+            incidents.append(
+                Incident(
+                    window=fault.window,
+                    fault=fault.kind,
+                    classification=classification,
+                    action=action,
+                    attempt=attempt,
+                    detail=detail,
+                )
+            )
+        return incidents
+
+    @staticmethod
+    def _classification_for(kind: str) -> str:
+        if kind == "gc_tamper":
+            return "integrity_violation"
+        if kind == "pool_drain":
+            return "resource_exhaustion"
+        return "transient_transport"
+
+    # -- decision ----------------------------------------------------------------
+
+    def _decide_retry(self, window: int, attempt: int, incidents: List[Incident]) -> None:
+        """Back off before the next attempt, or fail closed out of budget."""
+        plan = self.plan
+        if attempt + 1 >= plan.max_attempts:
+            raise WindowAbortError(
+                f"window {window} failed closed: retry budget exhausted "
+                f"({plan.max_attempts} attempts)",
+                [replace(i, action="abort") if i.attempt == attempt else i for i in incidents],
+            )
+        if plan.backoff_base > 0.0:
+            # Wall-clock only — recovery must not perturb the simulated
+            # clocks, or the recovered run could not be bit-identical.
+            time.sleep(plan.backoff_base * (plan.backoff_factor ** attempt))

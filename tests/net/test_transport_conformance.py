@@ -6,10 +6,16 @@ layer's observable behavior — delivery order, inbox discipline, error
 surface, message contents, recorded statistics — must not depend on the
 mechanism that physically moves the bytes.  This is the contract that
 makes ``transport="socket"`` runs bit-identical to in-process runs.
+
+The chaos decorator rides the same contract: a :class:`FaultyTransport`
+wrapping either base transport under a **zero-fault plan** must be
+bit-transparent — it runs through every conformance case here as
+``faulty-local`` / ``faulty-socket``.
 """
 
 import pytest
 
+from repro.chaos import FaultPlan, FaultyTransport
 from repro.net import (
     LocalTransport,
     MessageKind,
@@ -20,12 +26,19 @@ from repro.net import (
     make_transport,
 )
 
-TRANSPORT_NAMES = ("local", "socket")
+TRANSPORT_NAMES = ("local", "socket", "faulty-local", "faulty-socket")
+
+
+def make_conformance_transport(name):
+    """The conformance suite's transports, incl. zero-plan chaos wrappers."""
+    if name.startswith("faulty-"):
+        return FaultyTransport(make_transport(name[len("faulty-"):]), FaultPlan())
+    return make_transport(name)
 
 
 @pytest.fixture(params=TRANSPORT_NAMES)
 def network(request):
-    net = SimulatedNetwork(transport=make_transport(request.param))
+    net = SimulatedNetwork(transport=make_conformance_transport(request.param))
     yield net
     net.close()
 
@@ -120,26 +133,24 @@ def _run_script(network):
 
 
 def test_statistics_identical_across_transports():
-    locals_stats = sockets_stats = None
+    collected = {}
     for name in TRANSPORT_NAMES:
-        net = SimulatedNetwork(transport=make_transport(name))
+        net = SimulatedNetwork(transport=make_conformance_transport(name))
         try:
-            stats = _run_script(net)
-            if name == "local":
-                locals_stats = stats
-            else:
-                sockets_stats = stats
+            collected[name] = _run_script(net)
         finally:
             net.close()
-    assert locals_stats.snapshot() == sockets_stats.snapshot()
-    assert locals_stats.total_messages == sockets_stats.total_messages
-    assert locals_stats.total_bytes == sockets_stats.total_bytes
-    assert dict(locals_stats.bytes_by_kind) == dict(sockets_stats.bytes_by_kind)
+    reference = collected["local"]
+    for name, stats in collected.items():
+        assert stats.snapshot() == reference.snapshot(), name
+        assert stats.total_messages == reference.total_messages, name
+        assert stats.total_bytes == reference.total_bytes, name
+        assert dict(stats.bytes_by_kind) == dict(reference.bytes_by_kind), name
 
 
 def test_duplicate_registration_rejected_at_transport_level():
     for name in TRANSPORT_NAMES:
-        transport = make_transport(name)
+        transport = make_conformance_transport(name)
         try:
             transport.register("alice", lambda message: None)
             with pytest.raises(TransportError):
@@ -152,7 +163,7 @@ def test_transport_deliver_to_unregistered_endpoint():
     from repro.net import Message
 
     for name in TRANSPORT_NAMES:
-        transport = make_transport(name)
+        transport = make_conformance_transport(name)
         try:
             message = Message(sender="a", recipient="nobody", kind=MessageKind.GENERIC)
             with pytest.raises(TransportError):
@@ -163,7 +174,7 @@ def test_transport_deliver_to_unregistered_endpoint():
 
 def test_close_is_idempotent():
     for name in TRANSPORT_NAMES:
-        transport = make_transport(name)
+        transport = make_conformance_transport(name)
         transport.close()
         transport.close()  # must not raise
 

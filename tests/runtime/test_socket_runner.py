@@ -9,9 +9,12 @@ baseline bit for bit (``RunReport.identical_to``); only host wall-clock
 may differ, which on the 1-core CI box is deliberately not asserted.
 """
 
+from dataclasses import replace
+
 import pytest
 
 import helpers
+from repro.chaos import FaultPlan
 from repro.runtime import ExecutionPlan, ParallelRunner
 
 
@@ -40,6 +43,41 @@ def test_socket_message_fabric_is_bit_identical():
         market.dataset, market.windows, workers=1
     )
     assert baseline.identical_to(over_socket)
+
+
+def test_killed_socket_worker_is_respawned_bit_identically():
+    # SIGKILL shard 1's worker after its first window: the supervisor layer
+    # in the parent must re-run exactly that shard on a fresh worker, the
+    # dead worker's partial accounting must be discarded wholesale, and the
+    # day's economics must still match the serial baseline bit for bit.
+    baseline = helpers.tiny_market_serial_report()
+    market = helpers.tiny_market()
+    engine = market.engine()
+    engine.config = replace(engine.config, fault_plan=FaultPlan(seed=17, kill_shards=(1,)))
+    report = engine.run_windows_report(
+        market.dataset, market.windows, workers=2, runner_transport="socket"
+    )
+    assert report.identical_to(baseline, include_incidents=False)
+    losses = [i for i in report.incidents if i.classification == "worker_loss"]
+    assert len(losses) == 1
+    assert losses[0].fault == "worker_kill"
+    assert losses[0].action == "respawn"
+    assert losses[0].recovered
+    assert losses[0].shard_index == 1
+
+
+def test_kill_flag_ignored_on_local_runner_transport():
+    # Worker-kill chaos needs a socket worker to kill; the multiprocessing
+    # pool path must run the same plan unharmed (and incident-free).
+    baseline = helpers.tiny_market_serial_report()
+    market = helpers.tiny_market()
+    engine = market.engine()
+    engine.config = replace(engine.config, fault_plan=FaultPlan(seed=17, kill_shards=(1,)))
+    report = engine.run_windows_report(
+        market.dataset, market.windows, workers=2, runner_transport="local"
+    )
+    assert report.identical_to(baseline, include_incidents=False)
+    assert not [i for i in report.incidents if i.classification == "worker_loss"]
 
 
 def test_socket_everything_day_scope():
