@@ -49,6 +49,17 @@ pre-acceleration baseline so the perf trajectory is tracked PR over PR:
   bit-identical under sharding at workers 1/2/4 (sessions established
   exactly once per pair per day), and a day run over ``SocketTransport``
   (real loopback TCP) must be bit-identical to ``LocalTransport``,
+* ``pipelining``: the window-pipelined day — window W+1's offline phase
+  (randomizer warm-up, garbling, OT extension) overlapped with window W's
+  online phase under day-scoped sessions and the WAN cost profile, each
+  pipeline slot charged ``max(online_W, offline_W+1)`` on the simulated
+  clock, with the certificates (the script exits non-zero if any fails):
+  pipelined runs must stay bit-identical to the unpipelined day at
+  workers 1/2/4 over local *and* socket transports and under the tree
+  topology, a seeded chaos run must retry back to the bit-identical
+  clean day (a retried window cannot consume its successor's pre-staged
+  material), and the day speedup must clear the 1.3x floor whenever at
+  least 6 windows were sampled,
 * ``chaos``: the chaos-engine survival matrix — one seeded deterministic
   fault plan (frame drops / reorders / duplicates / corruption, a
   mid-window pool drain, a SIGKILLed socket shard worker) executed across
@@ -152,6 +163,18 @@ SESSION_SCALES = {
 }
 #: worker counts of the day-scope sharding certificate.
 SESSION_WORKER_COUNTS = (1, 2, 4)
+
+#: (home_count, sampled windows) per scale for the pipelined day — shares
+#: the session-reuse scales (both are day-scope experiments over the same
+#: sampled day shape).
+PIPELINE_SCALES = SESSION_SCALES
+#: worker counts of the pipelining bit-identity certificate.
+PIPELINE_WORKER_COUNTS = (1, 2, 4)
+#: simulated-day speedup the pipelined schedule must clear — gated only
+#: when the sampled day has at least MIN_PIPELINE_WINDOWS windows (the
+#: anchor's un-hideable offline phase dominates shorter days).
+MIN_PIPELINE_SPEEDUP = 1.3
+MIN_PIPELINE_WINDOWS = 6
 
 #: (home_count, sampled windows) per scale for the chaos survival matrix —
 #: every cell runs the whole sampled day, so the matrix dominates the
@@ -599,6 +622,51 @@ def run_session_section(scale: str) -> dict:
     }
 
 
+def run_pipelining_section(scale: str) -> dict:
+    """Build the ``pipelining`` report section.
+
+    The same day-scoped sampled day runs with and without a
+    ``WindowPipeline`` stage under the WAN cost profile (the paper's
+    containers sit in homes on residential broadband — the regime where
+    offline and online clocks are comparable and overlap pays).  The
+    speedup is read off the per-window traces
+    (``RunReport.pipelined_simulated_seconds`` vs.
+    ``unpipelined_simulated_seconds``); the certificates — bit-identity at
+    every worker count over both transports and the tree topology, and
+    chaos recovery without touching pre-staged successor material — are
+    gated in ``main``.
+    """
+    from repro.analysis.experiments import experiment_window_pipelining
+
+    home_count, sample_count = PIPELINE_SCALES[scale]
+    obs = experiment_window_pipelining(
+        home_count=home_count,
+        sample_count=sample_count,
+        worker_counts=PIPELINE_WORKER_COUNTS,
+    )
+    return {
+        "home_count": obs.home_count,
+        "windows_executed": obs.windows_executed,
+        "unpipelined_day_seconds": round(obs.unpipelined_day_seconds, 6),
+        "pipelined_day_seconds": round(obs.pipelined_day_seconds, 6),
+        "pipeline_speedup": round(obs.pipeline_speedup, 4),
+        "hidden_offline_seconds": round(obs.hidden_offline_seconds, 6),
+        "overlap_eligible_seconds": round(obs.overlap_eligible_seconds, 6),
+        "pipeline_reserved": obs.pipeline_reserved,
+        "identical_by_workers": {
+            str(workers): ok for workers, ok in obs.identical_by_workers.items()
+        },
+        "socket_identical_by_workers": {
+            str(workers): ok
+            for workers, ok in obs.socket_identical_by_workers.items()
+        },
+        "tree_topology_identical": obs.tree_topology_identical,
+        "chaos_incidents": obs.chaos_incidents,
+        "chaos_recovered": obs.chaos_recovered,
+        "chaos_recovered_identical": obs.chaos_recovered_identical,
+    }
+
+
 def run_chaos_section(scale: str) -> dict:
     """Build the ``chaos`` report section.
 
@@ -723,6 +791,8 @@ def main() -> int:
     report["aggregation_topology"] = run_topology_section()
     print("running the session-reuse day (window vs. day scope, socket transport) ...")
     report["session_reuse"] = run_session_section(args.scale)
+    print("running the pipelined day (offline/online overlap + certificates) ...")
+    report["pipelining"] = run_pipelining_section(args.scale)
     print("running the chaos survival matrix + fail-closed certificates ...")
     report["chaos"] = run_chaos_section(args.scale)
     if not args.skip_parallel:
@@ -863,6 +933,57 @@ def main() -> int:
         print(
             "ERROR: SocketTransport day diverged from LocalTransport — "
             "transport regression",
+            file=sys.stderr,
+        )
+        failed = True
+    pipelining = report["pipelining"]
+    print(
+        f"  pipelining[{pipelining['windows_executed']} windows]: "
+        f"{pipelining['pipeline_speedup']}x simulated day speedup "
+        f"({pipelining['hidden_offline_seconds']}s offline hidden), "
+        f"identical={all(pipelining['identical_by_workers'].values())}, "
+        f"socket_identical={all(pipelining['socket_identical_by_workers'].values())}, "
+        f"chaos_recovered_identical={pipelining['chaos_recovered_identical']}"
+    )
+    if not all(pipelining["identical_by_workers"].values()):
+        print(
+            f"ERROR: pipelined day diverged from the unpipelined day "
+            f"({pipelining['identical_by_workers']}) — pipelining must move "
+            "wall-clock work, never results or accounting",
+            file=sys.stderr,
+        )
+        failed = True
+    if not all(pipelining["socket_identical_by_workers"].values()):
+        print(
+            f"ERROR: pipelined socket day diverged "
+            f"({pipelining['socket_identical_by_workers']}) — transport "
+            "regression under pipelining",
+            file=sys.stderr,
+        )
+        failed = True
+    if not pipelining["tree_topology_identical"]:
+        print(
+            "ERROR: pipelined tree-topology day diverged from its "
+            "unpipelined baseline — topology regression under pipelining",
+            file=sys.stderr,
+        )
+        failed = True
+    if not (pipelining["chaos_recovered"] and pipelining["chaos_recovered_identical"]):
+        print(
+            "ERROR: chaos-seeded pipelined day did not recover to the "
+            "bit-identical clean day — a retried window consumed or "
+            "double-charged pre-staged material",
+            file=sys.stderr,
+        )
+        failed = True
+    if (
+        pipelining["windows_executed"] >= MIN_PIPELINE_WINDOWS
+        and pipelining["pipeline_speedup"] < MIN_PIPELINE_SPEEDUP
+    ):
+        print(
+            f"ERROR: pipelined day speedup {pipelining['pipeline_speedup']} "
+            f"below the {MIN_PIPELINE_SPEEDUP}x floor at "
+            f"{pipelining['windows_executed']} windows — perf regression",
             file=sys.stderr,
         )
         failed = True

@@ -18,6 +18,14 @@ prepares the secure comparisons under free-XOR + half-gates garbling
 (fewer table bytes, faster offline garbling) — all bit-identical or
 outcome-identical to the defaults.
 
+``--pipeline`` (day scope only) runs the sharded day behind a
+:class:`repro.runtime.WindowPipeline` stage: window W+1's offline material
+(randomizer obfuscators, garbled comparisons, OT batches) is pre-staged
+during window W's online phase, each pipeline slot costing
+``max(online_W, offline_W+1)`` on the simulated clock instead of the sum.
+The serial run stays unpipelined, so the bit-identity check certifies that
+pipelining moves wall-clock work without touching results or accounting.
+
 ``--chaos-seed N`` arms the chaos engine on the sharded run: a seeded
 deterministic :class:`repro.chaos.FaultPlan` injects frame drops /
 reorders / duplicates / corruption (and, over the socket fan-out with
@@ -34,6 +42,7 @@ Run with:  python examples/parallel_private_day.py [--homes N] [--windows K]
                                                    [--transport local|socket]
                                                    [--garbling-scheme classic|halfgates]
                                                    [--background-refill]
+                                                   [--pipeline]
                                                    [--chaos-seed N]
 """
 
@@ -94,11 +103,20 @@ def main() -> None:
         help="stock randomizer-pool reservoirs from a background thread",
     )
     parser.add_argument(
+        "--pipeline", action="store_true",
+        help="overlap each window's offline phase with the previous window's "
+             "online phase (requires --session-scope day)",
+    )
+    parser.add_argument(
         "--chaos-seed", type=int, default=None, metavar="N",
         help="inject a seeded deterministic fault plan into the sharded run "
              "and certify detect-and-recover (see docs/CHAOS.md)",
     )
     args = parser.parse_args()
+
+    if args.pipeline and args.session_scope != "day":
+        parser.error("--pipeline requires --session-scope day (pre-staged "
+                     "offline material must survive window boundaries)")
 
     fault_plan = None
     if args.chaos_seed is not None:
@@ -131,7 +149,8 @@ def main() -> None:
         args.session_scope, args.transport, args.garbling_scheme
     ).run_windows_report(dataset, windows, workers=1)
     chaos_note = f", chaos seed {args.chaos_seed}" if fault_plan is not None else ""
-    print(f"Sharded run ({plan.workers} workers{chaos_note}) ...")
+    pipeline_note = ", pipelined offline" if args.pipeline else ""
+    print(f"Sharded run ({plan.workers} workers{pipeline_note}{chaos_note}) ...")
     parallel = build_engine(
         args.session_scope, args.transport, args.garbling_scheme, fault_plan
     ).run_windows_report(
@@ -140,6 +159,7 @@ def main() -> None:
         workers=args.workers,
         shard_strategy=args.strategy,
         background_refill=args.background_refill,
+        pipeline=args.pipeline,
     )
 
     identical = serial.identical_to(parallel, include_incidents=False)
@@ -158,6 +178,14 @@ def main() -> None:
           f"{parallel.wall_seconds:.2f} s ({os.cpu_count()} core(s) available)")
     if args.background_refill:
         print(f"obfuscators stocked in background : {parallel.background_stocked}")
+    if args.pipeline:
+        print(f"unpipelined day (offline+online)  : "
+              f"{parallel.unpipelined_simulated_seconds:.2f} s")
+        print(f"pipelined day (overlapped)        : "
+              f"{parallel.pipelined_simulated_seconds:.2f} s")
+        print(f"pipeline speedup / offline hidden : {parallel.pipeline_speedup:.2f}x / "
+              f"{parallel.pipeline_hidden_seconds:.2f} s")
+        print(f"offline values pre-staged         : {parallel.pipeline_reserved}")
     if fault_plan is not None:
         recovered = all(i.recovered for i in parallel.incidents)
         print(f"chaos incidents (all recovered)   : {len(parallel.incidents)}"

@@ -36,6 +36,16 @@ a regenerated file honest:
   ``socket_transport_identical`` (the SocketTransport day run must be
   bit-identical to LocalTransport), and show a day-scope simulated-day
   speedup of at least 2x (the measured value is ~4x at 6 windows);
+* the ``pipelining`` section (added with the window-pipelined scheduler)
+  must exist, certify bit-identity of the pipelined day against the
+  unpipelined day at workers 1/2/4 over both transports
+  (``identical_by_workers`` / ``socket_identical_by_workers``) and under
+  the tree topology, certify the chaos-seeded pipelined day recovered to
+  the bit-identical clean day (``chaos_recovered`` /
+  ``chaos_recovered_identical`` — a retried window must not consume its
+  successor's pre-staged material), and show a pipelined simulated-day
+  speedup of at least 1.3x whenever at least 6 windows were sampled
+  (the anchor's un-hideable offline phase dominates shorter days);
 * the ``chaos`` section (added with the chaos engine + recovery
   supervisor) must exist, inject at least one fault, certify every
   survival-matrix cell (transport x session-scope x workers 1/2/4) as
@@ -356,6 +366,72 @@ def _check_session_reuse(report: dict, problems: list) -> None:
             )
 
 
+#: Minimum pipelined-vs-unpipelined simulated day speedup, gated only at
+#: days of at least MIN_PIPELINE_WINDOWS windows (matches the bench gate).
+MIN_PIPELINE_SPEEDUP = 1.3
+MIN_PIPELINE_WINDOWS = 6
+
+_PIPELINING_REQUIRED = (
+    "home_count",
+    "windows_executed",
+    "unpipelined_day_seconds",
+    "pipelined_day_seconds",
+    "pipeline_speedup",
+    "hidden_offline_seconds",
+    "overlap_eligible_seconds",
+    "pipeline_reserved",
+    "identical_by_workers",
+    "socket_identical_by_workers",
+    "tree_topology_identical",
+    "chaos_incidents",
+    "chaos_recovered",
+    "chaos_recovered_identical",
+)
+
+
+def _check_pipelining(report: dict, problems: list) -> None:
+    section = report.get("pipelining")
+    if not isinstance(section, dict) or not section:
+        problems.append("missing or empty 'pipelining' section")
+        return
+    for key in _PIPELINING_REQUIRED:
+        if key not in section:
+            problems.append(f"pipelining lacks {key!r}")
+    for label in ("identical_by_workers", "socket_identical_by_workers"):
+        identical = section.get(label)
+        if not isinstance(identical, dict) or not identical:
+            problems.append(f"pipelining lacks a non-empty {label!r} mapping")
+            continue
+        for workers, ok in identical.items():
+            if ok is not True:
+                problems.append(
+                    f"pipelining.{label} is not identical at workers={workers} — "
+                    "the pipelined day diverged from the unpipelined day"
+                )
+    if section.get("tree_topology_identical") is not True:
+        problems.append("pipelining.tree_topology_identical is not true")
+    if section.get("chaos_recovered") is not True:
+        problems.append("pipelining.chaos_recovered is not true")
+    if section.get("chaos_recovered_identical") is not True:
+        problems.append(
+            "pipelining.chaos_recovered_identical is not true — a retried "
+            "window consumed or double-charged pre-staged successor material"
+        )
+    windows = section.get("windows_executed", 0)
+    speedup = section.get("pipeline_speedup", 0.0)
+    if not isinstance(speedup, (int, float)):
+        problems.append("pipelining lacks a numeric 'pipeline_speedup'")
+    elif (
+        isinstance(windows, int)
+        and windows >= MIN_PIPELINE_WINDOWS
+        and speedup < MIN_PIPELINE_SPEEDUP
+    ):
+        problems.append(
+            f"pipelining speedup {speedup!r} is below the documented "
+            f"{MIN_PIPELINE_SPEEDUP}x floor at {windows} windows"
+        )
+
+
 _CHAOS_REQUIRED = (
     "home_count",
     "windows_executed",
@@ -447,6 +523,7 @@ def validate(path: Path = BENCH_PATH) -> list:
     _check_multiexp(report, problems)
     _check_aggregation_topology(report, problems)
     _check_session_reuse(report, problems)
+    _check_pipelining(report, problems)
     _check_chaos(report, problems)
     return problems
 

@@ -67,6 +67,8 @@ __all__ = [
     "ChaosCellObservation",
     "ChaosMatrixObservation",
     "experiment_chaos_matrix",
+    "PipeliningObservation",
+    "experiment_window_pipelining",
     "sample_market_windows",
 ]
 
@@ -1136,4 +1138,183 @@ def experiment_chaos_matrix(
         retry_overhead=worst_overhead,
         tamper_fail_closed=tamper_fail_closed,
         tamper_incident_classified=tamper_classified,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Window pipelining (the ``pipelining`` section of BENCH_crypto.json).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipeliningObservation:
+    """Pipelined vs. serialized offline/online phase scheduling, certified.
+
+    The same day-scoped sampled day is executed with and without a
+    :class:`~repro.runtime.pipeline.WindowPipeline` stage, which pre-stages
+    window W+1's offline material (randomizer obfuscators, garbled
+    comparisons and their OT batches) during window W's online phase.  On
+    the simulated clock each pipeline slot is charged
+    ``max(online_W, offline_W+1)`` instead of the phases' sum
+    (:func:`repro.net.costmodel.pipelined_day_cost`).
+
+    The cost model is :meth:`CostModel.for_wan_profile` — the paper's
+    deployment puts the trading containers *in the homes*, so inter-home
+    messages cross residential broadband (5 ms, 20 MB/s), not a datacenter
+    LAN.  Under the LAN profile the online clock is so small that almost
+    no offline work fits under it; the WAN profile balances the two
+    phases, which is exactly the regime pipelining targets.
+
+    Certificates (all must hold):
+
+    * **bit-identity** — pipelined runs are ``RunReport.identical_to`` the
+      unpipelined day at every worker count, over local *and* socket
+      transports, and under the tree aggregation topology (against the
+      tree unpipelined day): pipelining moves wall-clock work, never
+      results, accounting, or the per-window overlap counters.
+    * **chaos** — a seeded fault plan run *pipelined* must retry back to
+      the bit-identical clean unpipelined day: a supervisor retry of
+      window W cannot consume or double-charge window W+1's pre-staged
+      material (reservations are claimed only when W+1 itself advances).
+
+    Attributes:
+        home_count: number of agents.
+        windows_executed: market windows in the sampled day.
+        unpipelined_day_seconds: simulated day runtime with every window's
+            offline phase serialized before its online phase.
+        pipelined_day_seconds: the same day with W+1's offline phase
+            hidden under W's online phase.
+        pipeline_speedup: ratio of the two.
+        hidden_offline_seconds: offline seconds the pipeline hid.
+        overlap_eligible_seconds: merged ``pipeline_overlap_seconds`` —
+            the day's pipeline-eligible offline work (every non-anchor
+            window's offline clock; identical pipelined or not, so it
+            folds into ``identical_to``).
+        pipeline_reserved: offline values actually pre-staged by the
+            workers=1 pipelined run (wall-clock telemetry).
+        identical_by_workers: worker count -> pipelined run bit-identical
+            to the unpipelined baseline (local transport).
+        socket_identical_by_workers: the same certificate with shards
+            fanned out over loopback TCP.
+        tree_topology_identical: pipelined tree-aggregation day
+            bit-identical to the unpipelined tree day.
+        chaos_incidents: incidents recorded by the seeded chaos run.
+        chaos_recovered: every chaos incident recovered.
+        chaos_recovered_identical: the recovered pipelined chaos run is
+            bit-identical (minus the ledger) to the clean unpipelined day.
+    """
+
+    home_count: int
+    windows_executed: int
+    unpipelined_day_seconds: float
+    pipelined_day_seconds: float
+    pipeline_speedup: float
+    hidden_offline_seconds: float
+    overlap_eligible_seconds: float
+    pipeline_reserved: int
+    identical_by_workers: Dict[int, bool]
+    socket_identical_by_workers: Dict[int, bool]
+    tree_topology_identical: bool
+    chaos_incidents: int
+    chaos_recovered: bool
+    chaos_recovered_identical: bool
+
+
+def experiment_window_pipelining(
+    home_count: int = 12,
+    sample_count: int = 6,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    crypto_key_size: int = 128,
+    key_size: int = 1024,
+    window_count: int = FULL_DAY_WINDOWS,
+    seed: int = DEFAULT_SEED,
+    chaos_seed: int = 20,
+) -> PipeliningObservation:
+    """Measure the offline/online pipelining win and its certificates.
+
+    See :class:`PipeliningObservation` for the setup and the three
+    certificates.  The speedup is a pure function of the per-window traces
+    (offline and online clocks), so it is read off the *baseline* report —
+    any of the bit-identical runs would give the same number.
+    """
+    from ..chaos import FaultPlan, PoolDrain
+
+    def build_engine(
+        transport: str = "local", topology: str = "chain", fault_plan=None
+    ) -> PrivateTradingEngine:
+        return PrivateTradingEngine(
+            params=PAPER_PARAMETERS,
+            config=ProtocolConfig(
+                key_size=crypto_key_size,
+                key_pool_size=4,
+                seed=7,
+                session_scope="day",
+                transport=transport,
+                aggregation_topology=topology,
+                fault_plan=fault_plan,
+            ),
+            cost_model=CostModel.for_wan_profile(key_size),
+        )
+
+    dataset = default_dataset(max(home_count, 300), window_count, seed)
+    windows = sample_market_windows(dataset, home_count, sample_count)
+
+    baseline = build_engine().run_windows_report(
+        dataset, windows, home_count=home_count, workers=1
+    )
+
+    pipeline_reserved = 0
+    identical_by_workers: Dict[int, bool] = {}
+    socket_identical_by_workers: Dict[int, bool] = {}
+    for workers in worker_counts:
+        report = build_engine().run_windows_report(
+            dataset, windows, home_count=home_count, workers=workers, pipeline=True
+        )
+        identical_by_workers[workers] = baseline.identical_to(report)
+        if workers == 1:
+            pipeline_reserved = report.pipeline_reserved
+        socket_report = build_engine(transport="socket").run_windows_report(
+            dataset, windows, home_count=home_count, workers=workers, pipeline=True
+        )
+        socket_identical_by_workers[workers] = baseline.identical_to(socket_report)
+
+    tree_baseline = build_engine(topology="tree").run_windows_report(
+        dataset, windows, home_count=home_count, workers=1
+    )
+    tree_pipelined = build_engine(topology="tree").run_windows_report(
+        dataset, windows, home_count=home_count, workers=2, pipeline=True
+    )
+    tree_identical = tree_baseline.identical_to(tree_pipelined)
+
+    chaos_plan = FaultPlan(
+        seed=chaos_seed,
+        drop_rate=0.01,
+        reorder_rate=0.005,
+        duplicate_rate=0.005,
+        corrupt_rate=0.01,
+        max_faults_per_window=2,
+        max_attempts=4,
+        pool_drains=(PoolDrain(window=windows[0]),) if windows else (),
+    )
+    chaos = build_engine(fault_plan=chaos_plan).run_windows_report(
+        dataset, windows, home_count=home_count, workers=2, pipeline=True
+    )
+
+    return PipeliningObservation(
+        home_count=home_count,
+        windows_executed=len(baseline.traces),
+        unpipelined_day_seconds=baseline.unpipelined_simulated_seconds,
+        pipelined_day_seconds=baseline.pipelined_simulated_seconds,
+        pipeline_speedup=baseline.pipeline_speedup,
+        hidden_offline_seconds=baseline.pipeline_hidden_seconds,
+        overlap_eligible_seconds=baseline.stats.pipeline_overlap_seconds,
+        pipeline_reserved=pipeline_reserved,
+        identical_by_workers=identical_by_workers,
+        socket_identical_by_workers=socket_identical_by_workers,
+        tree_topology_identical=tree_identical,
+        chaos_incidents=len(chaos.incidents),
+        chaos_recovered=all(i.recovered for i in chaos.incidents),
+        chaos_recovered_identical=chaos.identical_to(
+            baseline, include_incidents=False
+        ),
     )

@@ -313,6 +313,19 @@ class KeyRing:
             self._comparison_pools.values()
         )
 
+    def claim_reservations(self, window: int) -> int:
+        """Release every pool's material pre-staged for ``window``.
+
+        Called by the pipelined scheduler when ``window`` actually begins:
+        the obfuscators and prepared comparisons a pipeline stage computed
+        for this window (while the previous window's online phase ran)
+        join the pools' reservoirs, so this window's ``warm``/``refill``
+        pops them instead of computing inline.  Idempotent, wall-clock
+        only — accounting is untouched.  Returns the number of values
+        claimed across all pools.
+        """
+        return sum(pool.claim_reservation(window) for pool in self.refillable_pools)
+
     def recycle_pools(self, keep_sessions: bool = False) -> int:
         """Move every pool's unused entries back to its reservoir.
 

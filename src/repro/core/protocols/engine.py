@@ -73,6 +73,7 @@ from .pricing import run_private_pricing
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
     from ...net.stats import TrafficStats
+    from ...runtime.pipeline import WindowPipeline
     from ...runtime.runner import RunReport
 
 __all__ = ["PrivateWindowTrace", "PrivateTradingEngine"]
@@ -121,6 +122,11 @@ class PrivateWindowTrace:
             values flag under-provisioned pool warm-ups.
         gc_fallback_count: secure comparisons whose prepared-instance pool
             was drained and that therefore garbled on the online clock.
+        pipeline_overlap_seconds: the window's offline seconds eligible to
+            overlap the preceding pipeline slot's online phase (day scope,
+            non-anchor windows; see
+            :attr:`repro.net.stats.TrafficStats.pipeline_overlap_seconds`).
+            Recorded identically whether or not the run pipelined.
     """
 
     result: WindowResult
@@ -134,6 +140,7 @@ class PrivateWindowTrace:
     gc_offline_seconds: float = 0.0
     pool_fallback_count: int = 0
     gc_fallback_count: int = 0
+    pipeline_overlap_seconds: float = 0.0
 
 
 class PrivateTradingEngine:
@@ -373,6 +380,16 @@ class PrivateTradingEngine:
         trace.gc_offline_seconds = network.stats.gc_offline_seconds - start_gc_offline
         trace.pool_fallback_count = network.stats.pool_fallbacks - start_fallbacks
         trace.gc_fallback_count = network.stats.gc_fallbacks - start_gc_fallbacks
+        # Day scope: every non-anchor window's offline work could have been
+        # pre-staged during the previous pipeline slot — record how much.
+        # A pure function of the window given the day's anchor, recorded
+        # whether or not the run actually pipelined, so the counter folds
+        # into the bit-identity certificate across pipeline modes too.
+        if self.sessions.scope == "day" and not self.sessions.at_anchor:
+            trace.pipeline_overlap_seconds = (
+                trace.offline_seconds + trace.gc_offline_seconds
+            )
+            network.record_pipeline_overlap(trace.pipeline_overlap_seconds)
         trace.result.bandwidth_bytes = trace.bandwidth_bytes
         trace.result.simulated_runtime_seconds = trace.simulated_runtime_seconds
 
@@ -387,6 +404,7 @@ class PrivateTradingEngine:
         reuse_network: bool = False,
         collect_stats: bool = False,
         session_anchor: Optional[int] = None,
+        pipeline: Optional["WindowPipeline"] = None,
     ) -> tuple[List[PrivateWindowTrace], List["TrafficStats"]]:
         """Serially execute one shard of windows (the worker-side primitive).
 
@@ -411,6 +429,12 @@ class PrivateTradingEngine:
                 run, which for a worker shard may not be (or even be in)
                 this shard.  Defaults to the first selected window, which
                 is correct for serial (single-shard) execution.
+            pipeline: optional :class:`~repro.runtime.pipeline.WindowPipeline`
+                stage — ``advance(window)`` is called once per selected
+                window, *before* its (possibly supervised and retried)
+                execution, so each window claims its pre-staged offline
+                material and the next window's staging starts.  Wall-clock
+                only; accounting and results are bit-identical either way.
 
         Returns:
             ``(traces, stats)`` — one trace per selected window in ascending
@@ -451,6 +475,12 @@ class PrivateTradingEngine:
                 states = states_for_window(agents, trimmed)
                 if window_slice.window not in wanted:
                     continue
+                if pipeline is not None:
+                    # Enter the window's pipeline slot: claim its pre-staged
+                    # offline material and start staging the next window's.
+                    # Exactly once per window — supervisor retries below
+                    # must not consume the next window's reservations.
+                    pipeline.advance(window_slice.window)
                 if supervisor is not None:
                     # Supervised path: the supervisor owns the per-attempt
                     # networks, classifies failures, retries or fails
@@ -550,6 +580,7 @@ class PrivateTradingEngine:
         shard_strategy: str = "stride",
         background_refill: bool = False,
         runner_transport: Optional[str] = None,
+        pipeline: bool = False,
     ) -> "RunReport":
         """Like :meth:`run_windows`, returning the full :class:`RunReport`.
 
@@ -563,10 +594,20 @@ class PrivateTradingEngine:
         TCP; see :class:`repro.runtime.ParallelRunner`).  It defaults to
         the engine's ``config.transport``, so a socket-configured engine
         fans its shards out over real sockets too.
+
+        ``pipeline`` executes every shard with a
+        :class:`~repro.runtime.pipeline.WindowPipeline` stage (requires
+        ``session_scope="day"``): each window's offline material is
+        pre-staged during the previous window's online phase, and the
+        report's ``pipelined_simulated_seconds`` charges each slot
+        ``max(online_W, offline_W+1)`` — results and accounting stay
+        bit-identical to the unpipelined day.
         """
         from ...runtime import ExecutionPlan, ParallelRunner
 
-        plan = ExecutionPlan.for_windows(windows, workers, strategy=shard_strategy)
+        plan = ExecutionPlan.for_windows(
+            windows, workers, strategy=shard_strategy, pipeline=pipeline
+        )
         runner = ParallelRunner(
             plan,
             background_refill=background_refill,

@@ -88,7 +88,7 @@ from __future__ import annotations
 import random
 import threading
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 from .paillier import (
     PaillierCiphertext,
@@ -397,6 +397,13 @@ class RandomizerPool:
         #: pops it.
         self._reservoir: Deque[int] = deque()
         self._reservoir_lock = threading.Lock()
+        #: window-tagged pre-staged obfuscators (pipelined runs): values a
+        #: pipeline stage computed *for a specific future window* while an
+        #: earlier window's online phase ran.  Guarded by the reservoir
+        #: lock; they only enter the one-shot flow when that window claims
+        #: them (:meth:`claim_reservation`), so a retried earlier window
+        #: can never consume material staged for a later one.
+        self._reservations: Dict[int, List[int]] = {}
         #: dedicated randomness for background stocking — the refiller thread
         #: must not share the (non-thread-safe) ``rng`` with the protocol
         #: thread, or two encryptions could end up with the same randomizer.
@@ -411,6 +418,9 @@ class RandomizerPool:
         self.consumed = 0
         self.fallback_count = 0
         self.stocked = 0
+        #: total obfuscators ever pre-staged via :meth:`reserve` (window
+        #: pipelining) — unaccounted wall-clock work, like ``stocked``.
+        self.reserved = 0
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -458,6 +468,49 @@ class RandomizerPool:
             self._reservoir.extend(values)
         self.stocked += count
         return count
+
+    def reserve(self, window: int, count: int) -> int:
+        """Pre-stage ``count`` obfuscators *for* ``window`` (pipeline thread).
+
+        Like :meth:`stock`, this is unaccounted wall-clock work using the
+        thread-safe system CSPRNG — but the values are tagged to
+        ``window`` instead of entering the shared reservoir.  They become
+        takeable only once that window claims them
+        (:meth:`claim_reservation`), which is what keeps a supervisor
+        retry of window W from consuming material staged for window W+1.
+        Returns the number of values staged.
+        """
+        if count <= 0:
+            return 0
+        values = [
+            self._obfuscate(self._stock_rng.randrange(1, self.public_key.n))
+            for _ in range(count)
+        ]
+        with self._reservoir_lock:
+            self._reservations.setdefault(window, []).extend(values)
+            self.reserved += count
+        return count
+
+    def reservation_available(self, window: int) -> int:
+        """Pre-staged values currently tagged to ``window``."""
+        with self._reservoir_lock:
+            return len(self._reservations.get(window, ()))
+
+    def claim_reservation(self, window: int) -> int:
+        """Release ``window``'s pre-staged values into the reservoir.
+
+        Called when ``window`` actually begins: its tagged values join the
+        one-shot ``reservoir -> pool -> take`` flow, so the window's
+        ``warm`` pops them instead of exponentiating inline.  Claiming is
+        idempotent per window (a second claim finds nothing) and the
+        values stay handed out at most once.  Returns the number claimed.
+        """
+        with self._reservoir_lock:
+            values = self._reservations.pop(window, None)
+            if not values:
+                return 0
+            self._reservoir.extend(values)
+            return len(values)
 
     def recycle(self) -> int:
         """Move unused pool entries back to the reservoir.

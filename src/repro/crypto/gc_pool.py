@@ -62,7 +62,7 @@ import random
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from .circuits import Circuit, build_greater_than_circuit, int_to_bits
 from .garbled import (
@@ -260,12 +260,18 @@ class ComparisonPool:
         self._pool: Deque[PreparedComparison] = deque()
         self._reservoir: Deque[PreparedComparison] = deque()
         self._reservoir_lock = threading.Lock()
+        #: window-tagged pre-staged instances (pipelined runs) — see
+        #: :meth:`reserve`; guarded by the reservoir lock.
+        self._reservations: Dict[int, List[PreparedComparison]] = {}
         self._session_open = False
         self._session_bytes_pending = False
         self.produced = 0
         self.consumed = 0
         self.fallback_count = 0
         self.stocked = 0
+        #: total instances ever pre-staged via :meth:`reserve` (window
+        #: pipelining) — unaccounted wall-clock work, like ``stocked``.
+        self.reserved = 0
         #: per-window OT-extension sessions the accounting has opened; the
         #: protocol layer charges ``kappa`` base OTs per session.
         self.sessions_started = 0
@@ -320,6 +326,46 @@ class ComparisonPool:
             self._reservoir.extend(instances)
         self.stocked += count
         return count
+
+    def reserve(self, window: int, count: int) -> int:
+        """Pre-stage ``count`` instances *for* ``window`` (pipeline thread).
+
+        The pipelined scheduler's analogue of :meth:`stock`: instances are
+        built with the system CSPRNG on a background thread, but tagged to
+        the window whose offline phase is being overlapped instead of
+        entering the shared reservoir.  Only :meth:`claim_reservation` for
+        that window releases them into the one-shot flow — a supervisor
+        retry of an earlier window cannot consume (or re-account) them.
+        Returns the number of instances staged.
+        """
+        if count <= 0:
+            return 0
+        instances = [self._build(None) for _ in range(count)]
+        with self._reservoir_lock:
+            self._reservations.setdefault(window, []).extend(instances)
+            self.reserved += count
+        return count
+
+    def reservation_available(self, window: int) -> int:
+        """Pre-staged instances currently tagged to ``window``."""
+        with self._reservoir_lock:
+            return len(self._reservations.get(window, ()))
+
+    def claim_reservation(self, window: int) -> int:
+        """Release ``window``'s pre-staged instances into the reservoir.
+
+        Idempotent per window; the instances stay one-shot (reservation ->
+        reservoir -> pool -> take, handed out at most once).  Accounting
+        (``produced``/``sessions_started``) is untouched — the claiming
+        window's ``warm``/``refill`` charges exactly what a cold window
+        would.  Returns the number of instances claimed.
+        """
+        with self._reservoir_lock:
+            instances = self._reservations.pop(window, None)
+            if not instances:
+                return 0
+            self._reservoir.extend(instances)
+            return len(instances)
 
     def recycle(self, close_session: bool = True) -> int:
         """Park unused pool instances in the reservoir.

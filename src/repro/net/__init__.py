@@ -8,7 +8,13 @@ cost model (runtime, Figure 5), and each party only ever observes its own
 inbox (privacy auditing).
 """
 
-from .costmodel import CostModel, CryptoCostModel, NetworkCostModel
+from .costmodel import (
+    CostModel,
+    CryptoCostModel,
+    NetworkCostModel,
+    pipelined_day_cost,
+    unpipelined_day_cost,
+)
 from .message import Message, MessageKind
 from .network import NetworkError, Party, SimulatedNetwork
 from .session import SESSION_SCOPES, SessionLease, SessionManager, SessionRecord
@@ -26,6 +32,8 @@ __all__ = [
     "CostModel",
     "CryptoCostModel",
     "NetworkCostModel",
+    "pipelined_day_cost",
+    "unpipelined_day_cost",
     "Message",
     "MessageKind",
     "NetworkError",

@@ -272,6 +272,17 @@ class SimulatedNetwork:
         if count > 0:
             self.stats.record_sessions(reused=count)
 
+    def record_pipeline_overlap(self, seconds: float) -> None:
+        """Record offline seconds eligible to overlap the preceding slot.
+
+        Day-scoped runs record every non-anchor window's offline clock
+        here (see :attr:`TrafficStats.pipeline_overlap_seconds`); a
+        pipelined scheduler may pre-stage exactly that work during the
+        previous window's online phase.
+        """
+        if seconds > 0:
+            self.stats.record_pipeline_overlap(seconds)
+
     def record_pool_fallback(self, count: int = 1) -> None:
         """Record encryptions whose randomizer pool was drained.
 

@@ -145,7 +145,21 @@ class SessionManager:
         at the anchor window; leases anywhere else — including the
         physical creation inside a non-anchor worker shard — count as
         reuses.
+
+        Raises:
+            RuntimeError: when no :meth:`begin_window` call preceded the
+                lease.  A pre-window lease has no window to account to:
+                under day scope with an explicit ``anchor_window`` it would
+                silently record a *reuse* that no anchor ever paid for,
+                corrupting ``sessions_established``.
         """
+        if self._window is None:
+            raise RuntimeError(
+                "SessionManager.lease() before begin_window(): a lease "
+                "outside any window cannot be anchor-accounted (it would "
+                "record a reuse no establishment ever paid for); call "
+                "begin_window(window) first"
+            )
         key = _pair_key(a, b)
         record = self._sessions.get(key)
         if record is not None:

@@ -84,6 +84,18 @@ class TrafficStats:
     #: session leases served by an already-established (day-scoped)
     #: session — windows that skipped the fixed setup costs entirely.
     sessions_reused: int = 0
+    #: offline seconds of this window *eligible to overlap* the preceding
+    #: pipeline slot's online phase under a day-scoped pipelined schedule:
+    #: every non-anchor window's offline work (pool warm-ups, prepared
+    #: comparisons, OT-extension batches) can be pre-staged while the
+    #: previous window's online phase runs.  Recorded identically whether
+    #: or not the run actually pipelined — like every per-window counter it
+    #: is a pure function of the window (given the day's anchor), which is
+    #: what lets ``identical_to`` fold it into the bit-identity certificate
+    #: across worker counts, transports *and* pipeline modes.  Zero for
+    #: window-scoped runs (sessions die at the boundary the pre-staging
+    #: would have to cross) and for the anchor window (nothing precedes it).
+    pipeline_overlap_seconds: float = 0.0
 
     def record_send(self, sender: str, recipient: str, size: int, kind: str = "other") -> None:
         """Record one unicast message of ``size`` bytes."""
@@ -138,6 +150,10 @@ class TrafficStats:
         self.sessions_established += established
         self.sessions_reused += reused
 
+    def record_pipeline_overlap(self, seconds: float) -> None:
+        """Count offline seconds eligible to overlap the previous slot."""
+        self.pipeline_overlap_seconds += seconds
+
     def merge(self, other: "TrafficStats") -> None:
         """Merge another stats object into this one (e.g. per-window totals)."""
         for party, traffic in other.per_party.items():
@@ -157,6 +173,7 @@ class TrafficStats:
             self.aggregation_rounds[topology] += rounds
         self.sessions_established += other.sessions_established
         self.sessions_reused += other.sessions_reused
+        self.pipeline_overlap_seconds += other.pipeline_overlap_seconds
 
     def average_bytes_per_party(self, parties: Iterable[str] | None = None) -> float:
         """Average total traffic (sent + received) across parties, in bytes.

@@ -8,6 +8,8 @@ run on a background thread during real idle time.  This package provides:
 * :class:`ParallelRunner` / :class:`RunReport` — shard execution, worker
   management and bit-stable result/stats merging,
 * :class:`BackgroundRefiller` — idle-time randomizer-pool refills,
+* :class:`WindowPipeline` — window-synchronous offline/online pipelining
+  (stage window W+1's offline material during window W's online phase),
 * :class:`EngineSpec` — a pickleable engine recipe for worker processes,
 * :class:`WindowSupervisor` / :class:`Incident` — chaos-aware failure
   classification and certified detect-and-recover (see ``docs/CHAOS.md``).
@@ -16,6 +18,7 @@ See ``docs/ARCHITECTURE.md`` for the sharding/merge model and a worked
 ``ExecutionPlan`` example.
 """
 
+from .pipeline import WindowPipeline
 from .plan import ExecutionPlan
 from .refill import BackgroundRefiller
 from .runner import EngineSpec, ParallelRunner, RunReport
@@ -24,6 +27,7 @@ from .supervisor import Incident, WindowAbortError, WindowSupervisor
 __all__ = [
     "ExecutionPlan",
     "BackgroundRefiller",
+    "WindowPipeline",
     "EngineSpec",
     "ParallelRunner",
     "RunReport",

@@ -44,10 +44,18 @@ class ExecutionPlan:
             windows.
         strategy: the sharding strategy that produced the plan (informational
             once the shards exist).
+        pipeline: overlap each window's offline phase with the previous
+            window's online phase inside every shard (see
+            :class:`~repro.runtime.pipeline.WindowPipeline` and
+            :func:`repro.net.costmodel.pipelined_day_cost`).  Requires
+            ``session_scope="day"`` — the pre-staged material must survive
+            the window boundary it is staged across — which the runner
+            enforces against the executing engine's config.
     """
 
     shards: Tuple[Tuple[int, ...], ...]
     strategy: str = "stride"
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         seen: set = set()
@@ -83,12 +91,14 @@ class ExecutionPlan:
         windows: Iterable[int],
         workers: int,
         strategy: str = "stride",
+        pipeline: bool = False,
     ) -> "ExecutionPlan":
         """Plan the execution of ``windows`` across up to ``workers`` shards.
 
         Duplicate window indices are collapsed and the worker count is
         clamped to ``[1, len(windows)]`` (an empty selection yields a plan
-        with zero shards).
+        with zero shards).  ``pipeline`` marks the plan for pipelined
+        offline/online execution within each shard.
         """
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -96,7 +106,7 @@ class ExecutionPlan:
             )
         selected = sorted(set(windows))
         if not selected:
-            return cls(shards=(), strategy=strategy)
+            return cls(shards=(), strategy=strategy, pipeline=pipeline)
         workers = max(1, min(int(workers), len(selected)))
         if strategy == "stride":
             shards = tuple(
@@ -111,7 +121,7 @@ class ExecutionPlan:
                 shards_list.append(tuple(selected[start : start + size]))
                 start += size
             shards = tuple(shards_list)
-        return cls(shards=shards, strategy=strategy)
+        return cls(shards=shards, strategy=strategy, pipeline=pipeline)
 
     def shard_for(self, window: int) -> int:
         """Index of the shard that executes ``window`` (ValueError if absent)."""
@@ -123,7 +133,8 @@ class ExecutionPlan:
     def describe(self) -> str:
         """One-line human-readable summary (used by examples/benchmarks)."""
         sizes = ", ".join(str(len(shard)) for shard in self.shards)
+        pipelined = "; pipelined offline" if self.pipeline else ""
         return (
             f"{self.window_count} windows over {self.workers} worker(s) "
-            f"[{self.strategy}; shard sizes: {sizes}]"
+            f"[{self.strategy}; shard sizes: {sizes}{pipelined}]"
         )

@@ -95,6 +95,9 @@ class BackgroundRefiller:
         self._idle_seconds = idle_seconds
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        #: guards ``total_stocked``: the refiller thread (``_loop``) and the
+        #: caller thread (``prefill`` after a stop) both read-modify-write it.
+        self._stocked_lock = threading.Lock()
         #: total obfuscators this refiller computed into reservoirs.
         self.total_stocked = 0
 
@@ -114,12 +117,24 @@ class BackgroundRefiller:
         self._thread.start()
         return self
 
-    def stop(self, timeout: Optional[float] = 5.0) -> None:
-        """Signal the thread to finish its current batch and join it."""
+    def stop(self, timeout: Optional[float] = 5.0) -> bool:
+        """Signal the thread to finish its current batch and join it.
+
+        Returns ``True`` when the thread stopped within ``timeout`` (or no
+        thread was running).  On a timed-out join the handle is *kept*:
+        ``running`` stays ``True`` and a subsequent :meth:`start` will not
+        spawn a duplicate refiller over the same reservoirs — the caller
+        can retry ``stop()`` once the stuck sweep drains.
+        """
         self._stop_event.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            return False
+        self._thread = None
+        return True
 
     def __enter__(self) -> "BackgroundRefiller":
         return self.start()
@@ -145,10 +160,14 @@ class BackgroundRefiller:
                 stocked += pool.stock(min(deficit, self._batch))
         return stocked
 
+    def _add_stocked(self, count: int) -> None:
+        with self._stocked_lock:
+            self.total_stocked += count
+
     def _loop(self) -> None:
         while not self._stop_event.is_set():
             stocked = self._sweep()
-            self.total_stocked += stocked
+            self._add_stocked(stocked)
             if stocked == 0:
                 # Everything is full (or no pools exist yet): genuine idle.
                 self._stop_event.wait(self._idle_seconds)
@@ -157,13 +176,19 @@ class BackgroundRefiller:
         """Synchronously fill every reservoir to the target (no thread).
 
         Useful in tests and for a deterministic "hot start" before a run;
-        returns the number of obfuscators computed.
+        returns the number of obfuscators computed.  Refuses to run while
+        the refiller thread is alive — both would sweep the same pools and
+        race each other's deficit estimates.
         """
+        if self.running:
+            raise RuntimeError(
+                "prefill() while the refiller thread is running; stop() it first"
+            )
         stocked = 0
         while True:
             step = self._sweep()
             if step == 0:
                 break
             stocked += step
-        self.total_stocked += stocked
+        self._add_stocked(stocked)
         return stocked

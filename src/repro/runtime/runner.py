@@ -37,8 +37,10 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
+from ..net.costmodel import pipelined_day_cost, unpipelined_day_cost
 from ..net.stats import TrafficStats
 from ..net.transport import recv_frame, send_frame
+from .pipeline import WindowPipeline
 from .plan import ExecutionPlan
 from .refill import BackgroundRefiller
 from .supervisor import Incident
@@ -100,6 +102,9 @@ class _ShardPayload:
     #: its first window (see ``FaultPlan.kill_shards``); the parent
     #: respawns the shard with the flag stripped.
     chaos_kill: bool = False
+    #: run the shard behind a :class:`WindowPipeline` stage — window W+1's
+    #: offline material is pre-staged during window W's online phase.
+    pipeline: bool = False
 
 
 @dataclass
@@ -113,6 +118,8 @@ class _ShardOutcome:
     stocked: int = 0
     #: classified incidents of this shard's supervised windows.
     incidents: List[Incident] = field(default_factory=list)
+    #: offline values the shard's pipeline stage pre-staged (0 unpipelined).
+    pipeline_reserved: int = 0
 
 
 #: Dataset installed into each pooled worker by :func:`_worker_init`.
@@ -135,6 +142,9 @@ def _run_payload(engine: "PrivateTradingEngine", payload: _ShardPayload) -> _Sha
     )
     if refiller is not None:
         refiller.start()
+    pipeline = (
+        WindowPipeline(engine.keyring, payload.windows) if payload.pipeline else None
+    )
     try:
         traces, window_stats = engine.execute_shard(
             dataset,
@@ -144,8 +154,11 @@ def _run_payload(engine: "PrivateTradingEngine", payload: _ShardPayload) -> _Sha
             reuse_network=payload.reuse_network,
             collect_stats=True,
             session_anchor=payload.session_anchor,
+            pipeline=pipeline,
         )
     finally:
+        if pipeline is not None:
+            pipeline.close()
         if refiller is not None:
             refiller.stop()
     return _ShardOutcome(
@@ -158,6 +171,7 @@ def _run_payload(engine: "PrivateTradingEngine", payload: _ShardPayload) -> _Sha
             replace(incident, shard_index=payload.shard_index)
             for incident in engine.last_shard_incidents
         ],
+        pipeline_reserved=pipeline.total_reserved if pipeline is not None else 0,
     )
 
 
@@ -222,6 +236,9 @@ class RunReport:
         incidents: the run's classified incident ledger (chaos injections,
             organic failures, killed-and-respawned workers), in
             deterministic window order.  Empty for unsupervised runs.
+        pipeline_reserved: offline values the shards' pipeline stages
+            pre-staged across all workers (0 for unpipelined runs —
+            wall-clock telemetry, deliberately outside ``identical_to``).
     """
 
     plan: ExecutionPlan
@@ -231,6 +248,7 @@ class RunReport:
     shard_wall_seconds: Tuple[float, ...] = ()
     background_stocked: int = 0
     incidents: List[Incident] = field(default_factory=list)
+    pipeline_reserved: int = 0
 
     def identical_to(self, other: "RunReport", include_incidents: bool = True) -> bool:
         """Bit-for-bit equality of traces and merged stats with ``other``.
@@ -262,6 +280,7 @@ class RunReport:
                 and a.simulated_runtime_seconds == b.simulated_runtime_seconds
                 and a.offline_seconds == b.offline_seconds
                 and a.gc_offline_seconds == b.gc_offline_seconds
+                and a.pipeline_overlap_seconds == b.pipeline_overlap_seconds
                 and a.pool_fallback_count == b.pool_fallback_count
                 and a.gc_fallback_count == b.gc_fallback_count
                 and a.market_evaluation_leader_ids == b.market_evaluation_leader_ids
@@ -278,6 +297,7 @@ class RunReport:
             and s.simulated_seconds == o.simulated_seconds
             and s.offline_seconds == o.offline_seconds
             and s.gc_offline_seconds == o.gc_offline_seconds
+            and s.pipeline_overlap_seconds == o.pipeline_overlap_seconds
             and s.pool_fallbacks == o.pool_fallbacks
             and s.gc_fallbacks == o.gc_fallbacks
             and dict(s.aggregation_hops) == dict(o.aggregation_hops)
@@ -313,6 +333,71 @@ class RunReport:
         if parallel <= 0.0:
             return 1.0
         return self.serial_simulated_seconds / parallel
+
+    # -- pipelined-clock aggregates (offline/online overlap) -------------------
+
+    def shard_phase_seconds(self) -> Tuple[Tuple[Tuple[float, float], ...], ...]:
+        """Per shard: one ``(offline, online)`` pair per window, in order.
+
+        ``offline`` is the window's full precompute clock
+        (``offline_seconds + gc_offline_seconds``), ``online`` its
+        interactive phase (``simulated_runtime_seconds``).  These are the
+        phase sequences :func:`repro.net.costmodel.pipelined_day_cost` and
+        :func:`~repro.net.costmodel.unpipelined_day_cost` consume, and —
+        because per-window traces are a pure function of the window — they
+        are identical whether or not the run actually pipelined.
+        """
+        by_window = {t.result.window: t for t in self.traces}
+        return tuple(
+            tuple(
+                (
+                    by_window[w].offline_seconds + by_window[w].gc_offline_seconds,
+                    by_window[w].simulated_runtime_seconds,
+                )
+                for w in shard
+                if w in by_window
+            )
+            for shard in self.plan.shards
+        )
+
+    @property
+    def unpipelined_simulated_seconds(self) -> float:
+        """Simulated day runtime with offline and online phases serialized.
+
+        The slowest shard's ``sum(offline_i + online_i)`` — what the day
+        costs when every window exponentiates and garbles inline before
+        trading.
+        """
+        per_shard = self.shard_phase_seconds()
+        return max(
+            (unpipelined_day_cost(phases) for phases in per_shard), default=0.0
+        )
+
+    @property
+    def pipelined_simulated_seconds(self) -> float:
+        """Simulated day runtime with W+1's offline phase hidden under W.
+
+        The slowest shard's
+        ``offline_0 + sum(max(online_i, offline_i+1)) + online_last``
+        (:func:`repro.net.costmodel.pipelined_day_cost`): each pipeline
+        slot is charged the max of the two overlapped phases instead of
+        their sum, mirroring ``layered_cost``.
+        """
+        per_shard = self.shard_phase_seconds()
+        return max((pipelined_day_cost(phases) for phases in per_shard), default=0.0)
+
+    @property
+    def pipeline_speedup(self) -> float:
+        """Day speedup of pipelined over unpipelined phase scheduling."""
+        pipelined = self.pipelined_simulated_seconds
+        if pipelined <= 0.0:
+            return 1.0
+        return self.unpipelined_simulated_seconds / pipelined
+
+    @property
+    def pipeline_hidden_seconds(self) -> float:
+        """Offline seconds the pipeline hides under online phases."""
+        return self.unpipelined_simulated_seconds - self.pipelined_simulated_seconds
 
 
 class ParallelRunner:
@@ -380,6 +465,14 @@ class ParallelRunner:
         plan = self.plan
         if plan.workers == 0:
             return RunReport(plan=plan)
+        if plan.pipeline and getattr(engine.config, "session_scope", None) != "day":
+            raise ValueError(
+                "ExecutionPlan.pipeline requires session_scope='day': "
+                "pre-staged offline material must survive the window "
+                "boundary it is staged across, which window-scoped "
+                f"sessions forbid (engine scope: "
+                f"{getattr(engine.config, 'session_scope', None)!r})"
+            )
 
         inline = plan.workers == 1
         session_anchor = min(plan.windows)
@@ -406,6 +499,7 @@ class ParallelRunner:
                 refill_target=self.refill_target,
                 session_anchor=session_anchor,
                 chaos_kill=index in kill_shards,
+                pipeline=plan.pipeline,
             )
             for index, shard in enumerate(plan.shards)
         ]
@@ -618,4 +712,5 @@ class ParallelRunner:
             shard_wall_seconds=tuple(o.wall_seconds for o in ordered),
             background_stocked=sum(o.stocked for o in ordered),
             incidents=incidents,
+            pipeline_reserved=sum(o.pipeline_reserved for o in ordered),
         )

@@ -23,6 +23,25 @@ def test_scope_validation():
         SessionManager("fortnight")
 
 
+@pytest.mark.parametrize("scope", ["window", "day"])
+def test_lease_before_begin_window_raises(scope):
+    """A lease outside any window must fail loudly, not account silently.
+
+    The old behavior created an ``established_window=None`` record whose
+    later leases counted as *reuses* no establishment ever paid for —
+    breaking the per-window purity that keeps sharded day runs
+    bit-identical to serial ones.
+    """
+    manager = SessionManager(scope)
+    with pytest.raises(RuntimeError, match="begin_window"):
+        manager.lease("alice", "bob")
+    # Nothing was recorded: the first real window still establishes.
+    manager.begin_window(2)
+    lease = manager.lease("alice", "bob")
+    assert lease.fresh and lease.counts_as_established
+    assert manager.established_count == 1
+
+
 def test_window_scope_reestablishes_every_window():
     manager = SessionManager("window")
     for window in (3, 7, 9):

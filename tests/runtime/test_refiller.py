@@ -173,3 +173,109 @@ def test_drained_pool_fallbacks_surface_in_traffic_stats():
     merged = SimulatedNetwork().stats
     merged.merge(network.stats)
     assert merged.pool_fallbacks == 2
+
+
+# -- stop()/prefill() lifecycle regressions -------------------------------------------
+
+
+def test_stop_timeout_keeps_thread_handle():
+    """A timed-out stop() must not discard the live thread's handle.
+
+    The old behavior cleared ``self._thread`` unconditionally after the
+    join, so a refiller whose sweep outlived the timeout reported
+    ``running == False`` while its thread was still stocking reservoirs —
+    and a subsequent ``start()`` would spawn a *second* refiller over the
+    same pools.
+    """
+    import threading
+
+    engine = build_engine()
+    engine.keyring.keypair_for("home-0")
+    refiller = BackgroundRefiller(engine.keyring, target=4)
+    release = threading.Event()
+    entered = threading.Event()
+
+    def stuck_sweep():
+        entered.set()
+        release.wait()
+        return 0
+
+    refiller._sweep = stuck_sweep
+    refiller.start()
+    assert entered.wait(timeout=5.0)
+    try:
+        # The sweep is stuck: the join must time out, report failure, and
+        # keep the handle so the refiller still reads as running.
+        assert refiller.stop(timeout=0.05) is False
+        assert refiller.running
+        stuck_thread = refiller._thread
+        assert stuck_thread is not None and stuck_thread.is_alive()
+        # No duplicate thread over the same reservoirs.
+        refiller.start()
+        assert refiller._thread is stuck_thread
+    finally:
+        release.set()
+    assert refiller.stop(timeout=5.0) is True
+    assert not refiller.running
+    assert refiller._thread is None
+
+
+def test_stop_without_start_reports_success():
+    engine = build_engine()
+    refiller = BackgroundRefiller(engine.keyring, target=4)
+    assert refiller.stop() is True
+
+
+def test_prefill_while_running_raises():
+    """prefill() and the refiller thread must never sweep concurrently.
+
+    Both read ``reservoir_available`` and stock against it, so running them
+    together races the deficit estimates (and, before the fix, the
+    unlocked ``total_stocked`` read-modify-write).
+    """
+    import threading
+
+    engine = build_engine()
+    engine.keyring.keypair_for("home-0")
+    refiller = BackgroundRefiller(engine.keyring, target=4)
+    release = threading.Event()
+    entered = threading.Event()
+
+    def stuck_sweep():
+        entered.set()
+        release.wait()
+        return 0
+
+    refiller._sweep = stuck_sweep
+    refiller.start()
+    assert entered.wait(timeout=5.0)
+    try:
+        with pytest.raises(RuntimeError, match="prefill.*running"):
+            refiller.prefill()
+    finally:
+        release.set()
+    assert refiller.stop(timeout=5.0) is True
+    # Stopped refillers prefill normally (the original sweep is restored
+    # on a fresh instance; this one still carries the stub).
+    fresh = BackgroundRefiller(engine.keyring, target=4)
+    assert fresh.prefill() >= 0
+
+
+def test_total_stocked_updates_are_locked():
+    """Concurrent ``_add_stocked`` calls must not lose updates."""
+    import threading
+
+    engine = build_engine()
+    refiller = BackgroundRefiller(engine.keyring, target=4)
+    per_thread, threads = 200, 8
+
+    def bump():
+        for _ in range(per_thread):
+            refiller._add_stocked(1)
+
+    workers = [threading.Thread(target=bump) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert refiller.total_stocked == per_thread * threads
