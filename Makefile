@@ -12,6 +12,9 @@
 #                      exist, that the source tree byte-compiles, and
 #                      that BENCH_crypto.json matches the documented
 #                      schema
+#   make coverage    - advisory line-coverage report for the planner
+#                      package (90% floor on src/repro/planning/);
+#                      skipped cleanly when pytest-cov is not installed
 #   make ci          - the full gate: test-fast, then docs-check, then a
 #                      smoke bench run written to a scratch file (so the
 #                      committed BENCH_crypto.json is left untouched),
@@ -20,14 +23,17 @@
 #                      loopback TCP), then the same day under half-gates
 #                      garbling, then a seeded chaos day over sockets
 #                      (frame faults + a SIGKILLed shard worker, certified
-#                      to recover bit-identically); the bench and all
-#                      three day runs exit non-zero on any identity or
-#                      determinism regression
+#                      to recover bit-identically), then a deployment-plan
+#                      smoke (repro plan --oracle --execute: the planned
+#                      config must match exhaustive enumeration and run a
+#                      real day economically identical to the naive
+#                      default); the bench and all four day runs exit
+#                      non-zero on any identity or determinism regression
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench-smoke docs-check ci
+.PHONY: test test-fast bench-smoke docs-check coverage ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +48,15 @@ docs-check:
 	$(PYTHON) scripts/docs_check.py
 	$(PYTHON) scripts/check_bench_schema.py
 
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest tests/planning -q \
+			--cov=repro.planning --cov-report=term-missing \
+			--cov-fail-under=90; \
+	else \
+		echo "coverage: pytest-cov not installed, skipping (advisory target)"; \
+	fi
+
 ci: test-fast docs-check
 	$(PYTHON) benchmarks/run_crypto_bench.py --scale smoke --workers 2 \
 		--output $(or $(CI_BENCH_OUTPUT),/tmp/BENCH_crypto.ci.json)
@@ -53,3 +68,5 @@ ci: test-fast docs-check
 		--garbling-scheme halfgates
 	$(PYTHON) examples/parallel_private_day.py --homes 8 --windows 2 --workers 2 \
 		--chaos-seed 23 --transport socket
+	$(PYTHON) scripts/repro_plan.py --hosts 2 --cores-per-host 2 --agents 8 \
+		--windows 3 --oracle --execute 2 --execute-homes 8

@@ -191,6 +191,15 @@ CHAOS_WORKER_COUNTS = (1, 2, 4)
 #: reproducible run over run).
 CHAOS_SEED = 20
 
+#: (home_count, sample_count) of the planner section's executed day —
+#: the planned vs. naive end-to-end economics-identity certificate.
+PLANNER_SCALES = {
+    "smoke": (8, 2),
+    "quick": (10, 3),
+    "default": (10, 4),
+    "full": (12, 6),
+}
+
 
 def run_benchmarks(scale: str, json_path: Path) -> None:
     env = dict(os.environ)
@@ -712,6 +721,53 @@ def run_chaos_section(scale: str) -> dict:
     }
 
 
+def run_planner_section(scale: str) -> dict:
+    """Build the ``planner`` report section.
+
+    The deployment planner plans three fleet regimes (single LAN host,
+    LAN cluster, WAN fleet of homes); each plan must match the
+    exhaustive-enumeration oracle bit-for-bit and beat the naive
+    chain/window/local default (> 1.0x predicted).  The first regime's
+    emitted ``ProtocolConfig`` + ``ExecutionPlan`` then executes a real
+    sampled day next to the naive default and must be economically
+    identical — see ``docs/PLANNER.md``.
+    """
+    from repro.analysis.experiments import experiment_planner_sweep
+
+    home_count, sample_count = PLANNER_SCALES[scale]
+    obs = experiment_planner_sweep(
+        home_count=home_count, sample_count=sample_count
+    )
+    return {
+        "regimes": {
+            regime.name: {
+                "hosts": regime.hosts,
+                "cores_per_host": regime.cores_per_host,
+                "agents": regime.agents,
+                "windows": regime.windows,
+                "link": regime.link,
+                "naive_day_seconds": round(regime.naive_day_seconds, 6),
+                "planned_day_seconds": round(regime.planned_day_seconds, 6),
+                "speedup": round(regime.speedup, 4),
+                "oracle_match": regime.oracle_match,
+                "candidates_evaluated": regime.candidates_evaluated,
+                "candidates_pruned": regime.candidates_pruned,
+                "space_size": regime.space_size,
+                "planned": dict(regime.planned),
+            }
+            for regime in obs.regimes
+        },
+        "executed": {
+            "regime": obs.executed.regime,
+            "windows_executed": obs.executed.windows_executed,
+            "economics_identical": obs.executed.economics_identical,
+            "planned_day_seconds": round(obs.executed.planned_day_seconds, 6),
+            "naive_day_seconds": round(obs.executed.naive_day_seconds, 6),
+            "measured_speedup": round(obs.executed.measured_speedup, 4),
+        },
+    }
+
+
 def run_parallel_day(scale: str, workers: int, background_refill: bool) -> dict:
     """Execute the sharded-day experiment and distill it for the report."""
     from repro.analysis.experiments import experiment_parallel_day
@@ -795,6 +851,8 @@ def main() -> int:
     report["pipelining"] = run_pipelining_section(args.scale)
     print("running the chaos survival matrix + fail-closed certificates ...")
     report["chaos"] = run_chaos_section(args.scale)
+    print("running the deployment-planner sweep (oracle + executed certificates) ...")
+    report["planner"] = run_planner_section(args.scale)
     if not args.skip_parallel:
         print(f"running the sharded-day experiment ({args.workers} workers) ...")
         report["parallel_runner"] = run_parallel_day(
@@ -1030,6 +1088,54 @@ def main() -> int:
         print(
             "ERROR: tampered GC material did not fail closed with a classified "
             "integrity_violation — silent-wrong-answer path",
+            file=sys.stderr,
+        )
+        failed = True
+    planner = report["planner"]
+    for name, regime in sorted(planner["regimes"].items()):
+        print(
+            f"  planner[{name}]: {regime['speedup']}x predicted "
+            f"(naive {regime['naive_day_seconds']}s -> planned "
+            f"{regime['planned_day_seconds']}s), oracle_match="
+            f"{regime['oracle_match']}, pruned "
+            f"{regime['candidates_pruned']}/{regime['space_size']}"
+        )
+        if not regime["oracle_match"]:
+            print(
+                f"ERROR: planner[{name}] diverged from the exhaustive-"
+                "enumeration oracle — the branch-and-bound search is not "
+                "returning the argmin",
+                file=sys.stderr,
+            )
+            failed = True
+        if regime["speedup"] <= 1.0:
+            print(
+                f"ERROR: planner[{name}] predicted speedup "
+                f"{regime['speedup']}x does not beat the naive default "
+                "(must be > 1.0x in every swept regime)",
+                file=sys.stderr,
+            )
+            failed = True
+    executed = planner["executed"]
+    print(
+        f"  planner.executed[{executed['regime']}]: economics_identical="
+        f"{executed['economics_identical']}, measured "
+        f"{executed['measured_speedup']}x over {executed['windows_executed']} "
+        "windows"
+    )
+    if not executed["economics_identical"]:
+        print(
+            "ERROR: the executed planned deployment is not economically "
+            "identical to the naive default — the planner changed trades, "
+            "not just clock charges",
+            file=sys.stderr,
+        )
+        failed = True
+    if executed["measured_speedup"] <= 1.0:
+        print(
+            f"ERROR: the executed planned deployment measured "
+            f"{executed['measured_speedup']}x — it must beat the naive "
+            "default on the runtime's own day clock",
             file=sys.stderr,
         )
         failed = True

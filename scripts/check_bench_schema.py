@@ -46,6 +46,13 @@ a regenerated file honest:
   successor's pre-staged material), and show a pipelined simulated-day
   speedup of at least 1.3x whenever at least 6 windows were sampled
   (the anchor's un-hideable offline phase dominates shorter days);
+* the ``planner`` section (added with the deployment planner) must
+  exist, carry at least three fleet regimes each certifying
+  ``oracle_match`` (branch-and-bound == exhaustive-enumeration argmin)
+  and a planned-vs-naive predicted speedup strictly above 1.0x, and an
+  ``executed`` certificate whose planned deployment ran a real day
+  economically identical to the naive default with a measured speedup
+  strictly above 1.0x (see ``docs/PLANNER.md``);
 * the ``chaos`` section (added with the chaos engine + recovery
   supervisor) must exist, inject at least one fault, certify every
   survival-matrix cell (transport x session-scope x workers 1/2/4) as
@@ -505,6 +512,89 @@ def _check_chaos(report: dict, problems: list) -> None:
         problems.append("chaos.tamper_incident_classified is not true")
 
 
+#: Minimum number of fleet regimes the planner sweep must cover.
+MIN_PLANNER_REGIMES = 3
+#: Planned-vs-naive speedups (predicted and measured) must strictly beat
+#: the naive default.
+MIN_PLANNER_SPEEDUP = 1.0
+
+_PLANNER_REGIME_REQUIRED = (
+    "hosts",
+    "cores_per_host",
+    "agents",
+    "windows",
+    "link",
+    "naive_day_seconds",
+    "planned_day_seconds",
+    "speedup",
+    "oracle_match",
+    "candidates_evaluated",
+    "candidates_pruned",
+    "space_size",
+    "planned",
+)
+
+_PLANNER_EXECUTED_REQUIRED = (
+    "regime",
+    "windows_executed",
+    "economics_identical",
+    "planned_day_seconds",
+    "naive_day_seconds",
+    "measured_speedup",
+)
+
+
+def _check_planner(report: dict, problems: list) -> None:
+    section = report.get("planner")
+    if not isinstance(section, dict) or not section:
+        problems.append("missing or empty 'planner' section")
+        return
+    regimes = section.get("regimes")
+    if not isinstance(regimes, dict) or len(regimes) < MIN_PLANNER_REGIMES:
+        problems.append(
+            f"planner lacks a 'regimes' mapping with at least "
+            f"{MIN_PLANNER_REGIMES} fleet regimes"
+        )
+    else:
+        for name, regime in regimes.items():
+            prefix = f"planner.regimes[{name!r}]"
+            if not isinstance(regime, dict):
+                problems.append(f"{prefix} is not a mapping")
+                continue
+            for key in _PLANNER_REGIME_REQUIRED:
+                if key not in regime:
+                    problems.append(f"{prefix} lacks {key!r}")
+            if regime.get("oracle_match") is not True:
+                problems.append(
+                    f"{prefix}.oracle_match is not true — the planner "
+                    "diverged from the exhaustive-enumeration argmin"
+                )
+            speedup = regime.get("speedup", 0.0)
+            if not isinstance(speedup, (int, float)) or speedup <= MIN_PLANNER_SPEEDUP:
+                problems.append(
+                    f"{prefix} speedup {speedup!r} does not beat the naive "
+                    f"default (must be > {MIN_PLANNER_SPEEDUP}x)"
+                )
+    executed = section.get("executed")
+    if not isinstance(executed, dict) or not executed:
+        problems.append("planner lacks a non-empty 'executed' certificate")
+        return
+    for key in _PLANNER_EXECUTED_REQUIRED:
+        if key not in executed:
+            problems.append(f"planner.executed lacks {key!r}")
+    if executed.get("economics_identical") is not True:
+        problems.append(
+            "planner.executed.economics_identical is not true — the planned "
+            "deployment changed trades, not just clock charges"
+        )
+    measured = executed.get("measured_speedup", 0.0)
+    if not isinstance(measured, (int, float)) or measured <= MIN_PLANNER_SPEEDUP:
+        problems.append(
+            f"planner.executed measured speedup {measured!r} does not beat "
+            f"the naive default (must be > {MIN_PLANNER_SPEEDUP}x)"
+        )
+
+
 def validate(path: Path = BENCH_PATH) -> list:
     problems: list = []
     if not path.exists():
@@ -525,6 +615,7 @@ def validate(path: Path = BENCH_PATH) -> list:
     _check_session_reuse(report, problems)
     _check_pipelining(report, problems)
     _check_chaos(report, problems)
+    _check_planner(report, problems)
     return problems
 
 

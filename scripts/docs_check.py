@@ -35,6 +35,7 @@ DOCS = (
     "docs/TOPOLOGIES.md",
     "docs/SESSIONS.md",
     "docs/CHAOS.md",
+    "docs/PLANNER.md",
     "docs/BENCHMARKS.md",
 )
 

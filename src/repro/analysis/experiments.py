@@ -69,6 +69,10 @@ __all__ = [
     "experiment_chaos_matrix",
     "PipeliningObservation",
     "experiment_window_pipelining",
+    "PlannerRegimeObservation",
+    "PlannerExecutedObservation",
+    "PlannerSweepObservation",
+    "experiment_planner_sweep",
     "sample_market_windows",
 ]
 
@@ -1318,3 +1322,183 @@ def experiment_window_pipelining(
             baseline, include_incidents=False
         ),
     )
+
+
+@dataclass(frozen=True)
+class PlannerRegimeObservation:
+    """The deployment planner's verdict on one fleet regime.
+
+    Attributes:
+        name: regime label (``lan_single_host`` / ``lan_cluster`` /
+            ``wan_homes``).
+        hosts / cores_per_host / agents / windows / link: the
+            :class:`~repro.planning.FleetSpec` facts of the regime.
+        naive_day_seconds: predicted day cost of the seed deployment
+            (serial chain, per-window sessions, classic garbling, one
+            worker).
+        planned_day_seconds: predicted day cost of the planner's choice.
+        speedup: ratio of the two — the planning win, gated > 1.0x in
+            every regime by the benchmark harness.
+        oracle_match: True iff branch-and-bound returned the exhaustive
+            enumeration's argmin with bit-equal cost (the planner's
+            optimality certificate).
+        candidates_evaluated / candidates_pruned / space_size: search
+            audit (evaluated + pruned must cover the feasible space).
+        planned: the chosen candidate's knob settings.
+    """
+
+    name: str
+    hosts: int
+    cores_per_host: int
+    agents: int
+    windows: int
+    link: str
+    naive_day_seconds: float
+    planned_day_seconds: float
+    speedup: float
+    oracle_match: bool
+    candidates_evaluated: int
+    candidates_pruned: int
+    space_size: int
+    planned: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class PlannerExecutedObservation:
+    """End-to-end execution certificate of one planned deployment.
+
+    The planner's emitted ``ProtocolConfig`` + ``ExecutionPlan`` run a
+    real sampled trading day next to the naive default deployment;
+    ``economics_identical`` certifies the plan moved clock charges, never
+    trades, and the measured day clocks replay the predicted win on the
+    runtime's own accounting.
+    """
+
+    regime: str
+    windows_executed: int
+    economics_identical: bool
+    planned_day_seconds: float
+    naive_day_seconds: float
+    measured_speedup: float
+
+
+@dataclass(frozen=True)
+class PlannerSweepObservation:
+    """``experiment_planner_sweep``'s result: per-regime verdicts plus the
+    executed certificate (the ``planner`` section of BENCH_crypto.json)."""
+
+    regimes: Tuple[PlannerRegimeObservation, ...]
+    executed: PlannerExecutedObservation
+
+
+def experiment_planner_sweep(
+    home_count: int = 10,
+    sample_count: int = 4,
+    crypto_key_size: int = 128,
+    key_size: int = 1024,
+    window_count: int = FULL_DAY_WINDOWS,
+    seed: int = DEFAULT_SEED,
+) -> PlannerSweepObservation:
+    """Plan three fleet regimes, certify optimality, execute one plan.
+
+    The three regimes cover the deployment space's interesting corners:
+    a single LAN host (few cores, transport may stay local), a LAN
+    cluster (sockets forced, workers plentiful) and a WAN fleet of homes
+    (:meth:`CostModel.for_wan_profile` links, latency-dominated).  Every
+    regime's plan is checked against the exhaustive oracle; the first
+    regime's plan is then executed end-to-end over a real sampled day
+    against the naive default and must be economically identical.
+    """
+    from ..planning import (
+        FleetSpec,
+        WAN_PROFILE,
+        build_cost_model,
+        exhaustive_argmin,
+        naive_candidate,
+        plan,
+    )
+
+    regimes = (
+        ("lan_single_host", FleetSpec(
+            hosts=1, cores_per_host=4, agent_count=12, windows_per_day=6,
+            key_size=key_size,
+        )),
+        ("lan_cluster", FleetSpec(
+            hosts=4, cores_per_host=4, agent_count=64, windows_per_day=12,
+            key_size=key_size,
+        )),
+        ("wan_homes", FleetSpec(
+            hosts=16, cores_per_host=1, link=WAN_PROFILE, agent_count=32,
+            windows_per_day=8, key_size=key_size,
+        )),
+    )
+
+    observations = []
+    for name, spec in regimes:
+        deployment = plan(spec)
+        oracle = exhaustive_argmin(spec)
+        observations.append(PlannerRegimeObservation(
+            name=name,
+            hosts=spec.hosts,
+            cores_per_host=spec.cores_per_host,
+            agents=spec.agent_count,
+            windows=spec.windows_per_day,
+            link=spec.link.name,
+            naive_day_seconds=deployment.naive.day_seconds,
+            planned_day_seconds=deployment.chosen.day_seconds,
+            speedup=deployment.predicted_speedup,
+            oracle_match=(
+                oracle.candidate == deployment.chosen.candidate
+                and oracle.day_seconds == deployment.chosen.day_seconds
+            ),
+            candidates_evaluated=deployment.candidates_evaluated,
+            candidates_pruned=deployment.candidates_pruned,
+            space_size=deployment.space_size,
+            planned=deployment.chosen.candidate.to_dict(),
+        ))
+
+    # Execute the first regime's plan end-to-end on a real sampled day.
+    executed_name, executed_spec = regimes[0]
+    deployment = plan(executed_spec)
+    chosen = deployment.chosen.candidate
+    naive = naive_candidate(executed_spec)
+    dataset = default_dataset(max(home_count, 300), window_count, seed)
+    windows = sample_market_windows(dataset, home_count, sample_count)
+
+    def run(candidate):
+        engine = PrivateTradingEngine(
+            params=PAPER_PARAMETERS,
+            config=candidate.protocol_config(crypto_key_size=crypto_key_size),
+            cost_model=build_cost_model(executed_spec, candidate.key_size),
+        )
+        return engine.run_windows_report(
+            dataset,
+            windows,
+            home_count=home_count,
+            workers=candidate.workers,
+            pipeline=candidate.pipeline,
+        )
+
+    planned_report = run(chosen)
+    naive_report = run(naive)
+    economics_identical = len(planned_report.traces) == len(naive_report.traces) and all(
+        a.result.economically_equal(b.result)
+        for a, b in zip(planned_report.traces, naive_report.traces)
+    )
+    planned_seconds = (
+        planned_report.pipelined_simulated_seconds
+        if chosen.pipeline
+        else planned_report.unpipelined_simulated_seconds
+    )
+    naive_seconds = naive_report.unpipelined_simulated_seconds
+    executed = PlannerExecutedObservation(
+        regime=executed_name,
+        windows_executed=len(planned_report.traces),
+        economics_identical=economics_identical,
+        planned_day_seconds=planned_seconds,
+        naive_day_seconds=naive_seconds,
+        measured_speedup=(
+            naive_seconds / planned_seconds if planned_seconds > 0 else 1.0
+        ),
+    )
+    return PlannerSweepObservation(regimes=tuple(observations), executed=executed)

@@ -1,0 +1,71 @@
+"""Constraint-driven deployment planning for the PEM runtime.
+
+Given the fixed facts of a fleet (:class:`FleetSpec` — hosts, cores,
+link profile, agents, windows per day) the planner searches the discrete
+deployment space the runtime grew over PRs 1-8 — aggregation topology,
+session scope, transport, garbling scheme, worker count, offline/online
+pipelining, key size — scoring every candidate with pure functions of
+the calibrated :class:`~repro.net.costmodel.CostModel` and returning the
+argmin as a ready-to-run :class:`~repro.core.protocols.ProtocolConfig` +
+:class:`~repro.runtime.ExecutionPlan`.
+
+The planner is *certified*, not merely plausible: ``tests/planning/``
+holds an exhaustive brute-force oracle (branch-and-bound choice ==
+enumeration argmin, bit-equal cost), pruning-soundness checks over the
+:class:`PruneRecord` ledger, and determinism pins.  See
+``docs/PLANNER.md``.
+"""
+
+from .costing import (
+    ComparatorProfile,
+    WindowPhases,
+    anchor_window_count,
+    build_cost_model,
+    candidate_day_seconds,
+    comparator_profile,
+    dispatch_seconds,
+    shard_day_seconds,
+    window_phases,
+)
+from .fleet import LAN_PROFILE, WAN_PROFILE, FleetSpec, LinkProfile, resolve_link_profile
+from .search import (
+    AXES,
+    TOPOLOGIES,
+    CandidateConfig,
+    DeploymentPlan,
+    PruneRecord,
+    ScoredCandidate,
+    exhaustive_argmin,
+    iter_candidates,
+    naive_candidate,
+    plan,
+    score_candidate,
+)
+
+__all__ = [
+    "AXES",
+    "TOPOLOGIES",
+    "CandidateConfig",
+    "ComparatorProfile",
+    "DeploymentPlan",
+    "FleetSpec",
+    "LAN_PROFILE",
+    "LinkProfile",
+    "PruneRecord",
+    "ScoredCandidate",
+    "WAN_PROFILE",
+    "WindowPhases",
+    "anchor_window_count",
+    "build_cost_model",
+    "candidate_day_seconds",
+    "comparator_profile",
+    "dispatch_seconds",
+    "exhaustive_argmin",
+    "iter_candidates",
+    "naive_candidate",
+    "plan",
+    "resolve_link_profile",
+    "score_candidate",
+    "shard_day_seconds",
+    "window_phases",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.planning`` — run the deployment-planner CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,14 @@ class ExecutionPlan:
     pipeline: bool = False
 
     def __post_init__(self) -> None:
+        # Validated here, not only in for_windows: plans are also built
+        # directly (tests, pickled worker payloads), and a typo'd strategy
+        # or a bool masquerading as a window index must fail loudly then too.
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown sharding strategy {self.strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
         seen: set = set()
         for shard in self.shards:
             if not shard:
@@ -65,7 +73,11 @@ class ExecutionPlan:
             if list(shard) != sorted(shard):
                 raise ValueError(f"shard {shard} is not sorted ascending")
             for window in shard:
-                if not isinstance(window, int) or window < 0:
+                if (
+                    not isinstance(window, int)
+                    or isinstance(window, bool)
+                    or window < 0
+                ):
                     raise ValueError(f"invalid window index {window!r}")
                 if window in seen:
                     raise ValueError(f"window {window} appears in two shards")

@@ -135,3 +135,145 @@ def test_network_cost_model_defaults():
     network = NetworkCostModel()
     assert network.message_seconds(0) == pytest.approx(network.per_message_latency_seconds)
     assert network.message_seconds(10**8) > 0.5
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic properties (PR 9)
+#
+# The deployment planner's pruning soundness rests on the cost model being
+# monotone in link quality and phase scalars.  These properties pin that
+# contract down metamorphically: instead of asserting absolute numbers,
+# each test transforms an input along one axis (worse link, zeroed offline
+# phases, chain-shaped layers) and asserts the documented relation between
+# the two outputs.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.costmodel import pipelined_day_cost, unpipelined_day_cost
+
+
+def _model_for_link(latency_seconds, bandwidth):
+    return CostModel(
+        crypto=CryptoCostModel(key_size=1024),
+        network=NetworkCostModel(
+            per_message_latency_seconds=latency_seconds,
+            bandwidth_bytes_per_second=bandwidth,
+        ),
+        pipelined_crypto=True,
+    )
+
+
+link_params = st.tuples(
+    st.floats(min_value=1e-5, max_value=0.1),   # latency (s)
+    st.floats(min_value=1e5, max_value=1e9),    # bandwidth (B/s)
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    link_params,
+    st.floats(min_value=0.0, max_value=0.2),   # extra latency
+    st.floats(min_value=1.0, max_value=100.0), # bandwidth divisor
+    st.integers(min_value=1, max_value=64),    # hops
+    st.integers(min_value=1, max_value=100_000),  # message bytes
+)
+def test_worse_links_never_cheaper(link, extra_latency, bw_divisor, hops, size):
+    latency, bandwidth = link
+    better = _model_for_link(latency, bandwidth)
+    worse = _model_for_link(latency + extra_latency, bandwidth / bw_divisor)
+    assert worse.chain_cost(hops, size) >= better.chain_cost(hops, size)
+    assert worse.layered_aggregation_cost(hops, size) >= (
+        better.layered_aggregation_cost(hops, size)
+    )
+    assert worse.round_cost(size) >= better.round_cost(size)
+    assert worse.message_cost(size) >= better.message_cost(size)
+    layers = [[size] * 3, [size * 2]]
+    assert worse.layered_cost(layers) >= better.layered_cost(layers)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=0.2),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_worse_links_never_shrink_planner_day_cost(extra_latency, bw_divisor):
+    from repro.planning import FleetSpec, LinkProfile, candidate_day_seconds
+
+    base_link = LinkProfile("base", 0.0005, 100e6)
+    worse_link = LinkProfile(
+        "worse", 0.0005 + extra_latency, 100e6 / bw_divisor
+    )
+    knobs = dict(
+        key_size=1024, topology="tree:4", session_scope="day",
+        transport="socket", garbling_scheme="halfgates", workers=2,
+        pipeline=True,
+    )
+    base_total, _ = candidate_day_seconds(
+        FleetSpec(hosts=2, cores_per_host=2, link=base_link,
+                  agent_count=16, windows_per_day=4),
+        **knobs,
+    )
+    worse_total, _ = candidate_day_seconds(
+        FleetSpec(hosts=2, cores_per_host=2, link=worse_link,
+                  agent_count=16, windows_per_day=4),
+        **knobs,
+    )
+    assert worse_total >= base_total
+
+
+phase_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(phase_lists)
+def test_pipelined_day_never_slower(phases):
+    assert pipelined_day_cost(phases) <= unpipelined_day_cost(phases)
+
+
+@settings(max_examples=50, deadline=None)
+@given(phase_lists, st.floats(min_value=0.0, max_value=100.0))
+def test_pipelining_gains_nothing_without_successor_offline_work(phases, anchor):
+    # When every window past the anchor has a zero offline phase there is
+    # nothing to hide behind the predecessor's online phase, and both
+    # schedules fold the identical float sequence in the identical order —
+    # so the equality is bit-exact, not approximate.
+    degenerate = [
+        (anchor if i == 0 else 0.0, online)
+        for i, (_, online) in enumerate(phases)
+    ]
+    assert pipelined_day_cost(degenerate) == unpipelined_day_cost(degenerate)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=10_000),
+)
+def test_layered_cost_chain_shape_matches_chain_cost(hops, size):
+    # A chain is the degenerate layering with one hop per layer.  The two
+    # charges group the float additions differently (sum of per-layer
+    # maxima vs. hops * message_seconds), hence approx, not ==.
+    model = CostModel.for_key_size(512)
+    assert model.layered_cost([[size]] * hops) == pytest.approx(
+        model.chain_cost(hops, size)
+    )
+
+
+def test_wan_profile_dominates_lan_on_message_costs():
+    lan = CostModel.for_key_size(1024)
+    wan = CostModel.for_wan_profile(1024)
+    for size in (0, 64, 4096, 10**6):
+        assert wan.message_cost(size) > lan.message_cost(size)
+        assert wan.round_cost(size) > lan.round_cost(size)
+        assert wan.chain_cost(16, size) > lan.chain_cost(16, size)
+    # Compute-side charges are link-independent.
+    assert wan.aggregation_cost(100) == lan.aggregation_cost(100)
+    assert wan.comparison_offline_cost(190) == lan.comparison_offline_cost(190)

@@ -1,0 +1,89 @@
+"""Pruning soundness: no pruned region may contain the optimum.
+
+Every subtree the branch-and-bound search skips is logged as a
+:class:`~repro.planning.PruneRecord` — the partial assignment pinning the
+region, the lower bound that justified the cut, and the incumbent cost at
+the moment of the cut.  These tests re-expand every pruned region by
+brute force and verify the planner's claims candidate by candidate:
+
+* the recorded bound really lower-bounds every candidate in the region;
+* every candidate in the region costs strictly more than the optimum
+  (so pruning can never have hidden the argmin or a tie for it);
+* the bound function itself is sound for *every* prefix of *every*
+  candidate, not just the ones the search happened to cut.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planning import (
+    LAN_PROFILE,
+    WAN_PROFILE,
+    FleetSpec,
+    iter_candidates,
+    plan,
+    score_candidate,
+)
+from repro.planning.search import AXES, _lower_bound
+
+fleet_specs = st.builds(
+    FleetSpec,
+    hosts=st.integers(min_value=1, max_value=3),
+    cores_per_host=st.integers(min_value=1, max_value=3),
+    link=st.sampled_from((LAN_PROFILE, WAN_PROFILE)),
+    agent_count=st.integers(min_value=2, max_value=48),
+    windows_per_day=st.integers(min_value=1, max_value=7),
+    key_size=st.sampled_from((512, 1024, 2048)),
+)
+
+
+def _assert_pruned_regions_sound(spec):
+    deployment = plan(spec)
+    optimal = deployment.chosen.day_seconds
+    for record in deployment.prune_records:
+        region = list(iter_candidates(spec, dict(record.assigned)))
+        assert len(region) == record.configs_pruned
+        costs = [score_candidate(spec, candidate).day_seconds for candidate in region]
+        # The recorded bound is a true lower bound on the whole region ...
+        assert min(costs) >= record.lower_bound
+        # ... the cut was justified against the incumbent of its moment ...
+        assert record.lower_bound > record.best_cost_at_prune
+        # ... and the incumbent never beat the final optimum, so nothing
+        # in the region can match the optimum, let alone improve on it.
+        assert record.best_cost_at_prune >= optimal
+        assert min(costs) > optimal
+
+
+@settings(max_examples=25, deadline=None)
+@given(fleet_specs)
+def test_pruned_regions_never_contain_the_optimum(spec):
+    _assert_pruned_regions_sound(spec)
+
+
+def test_pruning_actually_fires_and_is_sound():
+    # A regime known to prune (the LAN single-host sweep regime): the
+    # soundness property must not be vacuously true everywhere.
+    spec = FleetSpec(hosts=1, cores_per_host=4, agent_count=12, windows_per_day=6)
+    deployment = plan(spec)
+    assert deployment.prune_records, "expected the bound to cut something here"
+    assert deployment.candidates_pruned > 0
+    assert deployment.candidates_evaluated < deployment.space_size
+    _assert_pruned_regions_sound(spec)
+
+
+@settings(max_examples=15, deadline=None)
+@given(fleet_specs, st.data())
+def test_lower_bound_sound_for_every_prefix(spec, data):
+    # For any candidate and any prefix of its axis assignment, the bound
+    # evaluated at that partial assignment must not exceed the candidate's
+    # true cost — the inductive invariant pruning soundness rests on.
+    candidates = list(iter_candidates(spec))
+    candidate = data.draw(st.sampled_from(candidates))
+    cost = score_candidate(spec, candidate).day_seconds
+    partial = {}
+    assert _lower_bound(spec, partial) <= cost
+    for axis in AXES:
+        partial[axis] = getattr(candidate, axis)
+        assert _lower_bound(spec, partial) <= cost
+    # Fully assigned, the bound collapses to the exact cost (bit-equal).
+    assert _lower_bound(spec, partial) == cost
