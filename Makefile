@@ -2,6 +2,10 @@
 #
 #   make test        - tier-1 verify: the full unit/integration suite
 #                      (tests/ plus the paper-figure benchmarks)
+#   make lint        - repro lint: the AST invariant linter over src/repro,
+#                      scripts and benchmarks; fails on any finding not
+#                      pinned in staticcheck_baseline.json and on baseline
+#                      drift (stale pinned entries)
 #   make test-fast   - the tier-1 subset under tests/ only: small keys,
 #                      small kappa, seconds total — the inner-loop target
 #   make bench-smoke - regenerate BENCH_crypto.json at smoke scale,
@@ -15,7 +19,8 @@
 #   make coverage    - advisory line-coverage report for the planner
 #                      package (90% floor on src/repro/planning/);
 #                      skipped cleanly when pytest-cov is not installed
-#   make ci          - the full gate: test-fast, then docs-check, then a
+#   make ci          - the full gate: lint, then test-fast and docs-check,
+#                      then a
 #                      smoke bench run written to a scratch file (so the
 #                      committed BENCH_crypto.json is left untouched),
 #                      then a tiny day-scoped trading day executed over
@@ -33,10 +38,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench-smoke docs-check coverage ci
+.PHONY: test test-fast lint bench-smoke docs-check coverage ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.staticcheck
 
 test-fast:
 	$(PYTHON) -m pytest tests -x -q
@@ -57,7 +65,7 @@ coverage:
 		echo "coverage: pytest-cov not installed, skipping (advisory target)"; \
 	fi
 
-ci: test-fast docs-check
+ci: lint test-fast docs-check
 	$(PYTHON) benchmarks/run_crypto_bench.py --scale smoke --workers 2 \
 		--output $(or $(CI_BENCH_OUTPUT),/tmp/BENCH_crypto.ci.json)
 	$(PYTHON) examples/parallel_private_day.py --homes 8 --windows 2 --workers 2 \

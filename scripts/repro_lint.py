@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""``repro lint`` entry point — the AST-based invariant linter.
+
+Thin wrapper so the linter is reachable without installing the package:
+
+    python scripts/repro_lint.py                 # scan src/repro, scripts, benchmarks
+    python scripts/repro_lint.py --explain csprng-default
+    python scripts/repro_lint.py --baseline-update
+
+Equivalent to ``python -m repro.staticcheck`` with ``src/`` on the path.
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the suppression
+policy and the baseline workflow.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.staticcheck.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -504,6 +504,9 @@ def experiment_aggregation_topologies(
                     aggregation_topology=topology_name,
                 ),
                 params=PAPER_PARAMETERS,
+                # staticcheck: ignore[csprng-default] -- topology experiments
+                # must replay bit-identically across worker counts; no key
+                # material is minted here (pools are disabled in this config).
                 rng=_random.Random(seed),
             )
             leader = context.sellers[0]

@@ -74,7 +74,7 @@ from ...crypto.paillier import (
 )
 from ...net.costmodel import CostModel
 from ...net.message import MessageKind
-from ...net.network import Party, SimulatedNetwork
+from ...net.network import NetworkError, Party, SimulatedNetwork
 from ..agent import AgentWindowState
 from ..coalition import Coalitions
 from ..params import MarketParameters, PAPER_PARAMETERS
@@ -405,6 +405,10 @@ class ProtocolContext:
         self.config = config
         self.params = params
         self.codec = FixedPointCodec(precision=config.precision)
+        # staticcheck: ignore[csprng-default] -- protocol randomness (leader
+        # selection, nonces) is deliberately seeded per (seed, window) so runs
+        # replay bit-identically; key material never flows from this stream —
+        # KeyRing derivation is SHA-256-based and pool material is CSPRNG-only.
         self.rng = rng or random.Random((config.seed, coalitions.window).__hash__())
         self.keyring = keyring or KeyRing(config, self.rng)
         #: the aggregation topology Protocols 2-4 collect encrypted sums
@@ -429,7 +433,10 @@ class ProtocolContext:
             party_id = state.agent_id
             try:
                 party = self.network.party(party_id)
-            except Exception:
+            except NetworkError:
+                # Unknown party: this agent's first window on this network.
+                # ``party()`` raises NetworkError and nothing else — a
+                # broader catch here once masked real registration faults.
                 party = self.network.register(party_id)
             runtime = AgentRuntime(
                 state=state,

@@ -62,6 +62,9 @@ def _find_default_group() -> Tuple[int, int, int]:
     p = _DEFAULT_P
     q = (p - 1) // 2
     if not (is_probable_prime(p) and is_probable_prime(q)):
+        # staticcheck: ignore[csprng-default] -- group parameters (p, q, g)
+        # are public protocol constants, not secret material: every party
+        # must derive the *same* fallback group, so the draw is seeded.
         rng = random.Random(0xC0FFEE)
         p = generate_safe_prime(256, rng)
         q = (p - 1) // 2

@@ -1,0 +1,43 @@
+"""Invariant linter: AST-based static analysis for the repo's standing rules.
+
+The chaos engine (:mod:`repro.chaos`) attacks the *runtime*; this package
+attacks the *source*.  Every standing invariant in ROADMAP.md — CSPRNG-only
+pool material, heavy work on the offline clock, shard-invariant accounting,
+bit-identity as the determinism certificate — is a *pattern* an AST pass can
+enforce mechanically before review.  The container ships no mypy/pyflakes,
+so the framework is stdlib-``ast`` only.
+
+Layout:
+
+* :mod:`.findings` — the :class:`Finding` model (rule id, path, line,
+  message, snippet) and its JSON round-trip.
+* :mod:`.engine` — the rule registry, the single-pass AST visitor engine,
+  and ``# staticcheck: ignore[rule-id] -- reason`` suppression handling
+  (reason mandatory; unused suppressions are themselves findings).
+* :mod:`.rules` — the invariant rules (see ``--explain <rule>`` or
+  ``docs/STATIC_ANALYSIS.md`` for the catalogue and rationale).
+* :mod:`.baseline` — the committed ``staticcheck_baseline.json``: accepted
+  pre-existing findings are pinned, any *new* finding fails the build, and
+  stale entries (findings that no longer exist) fail it too.
+* :mod:`.cli` — ``repro lint`` (``python -m repro.staticcheck`` /
+  ``python scripts/repro_lint.py``) with ``--json``, ``--baseline-update``
+  and ``--explain`` modes.
+"""
+
+from .baseline import Baseline, BaselineError, diff_against_baseline
+from .engine import ModuleReport, Rule, scan_paths, scan_source
+from .findings import Finding
+from .rules import default_rules, rule_by_id
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "ModuleReport",
+    "Rule",
+    "default_rules",
+    "diff_against_baseline",
+    "rule_by_id",
+    "scan_paths",
+    "scan_source",
+]

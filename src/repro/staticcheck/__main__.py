@@ -1,0 +1,6 @@
+"""``python -m repro.staticcheck`` — run the invariant-linter CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,6 @@
 """Unit tests for the runtime cost model."""
 
+import math
 import pytest
 
 from repro.net.costmodel import CostModel, CryptoCostModel, NetworkCostModel
@@ -235,7 +236,14 @@ phase_lists = st.lists(
 @settings(max_examples=100, deadline=None)
 @given(phase_lists)
 def test_pipelined_day_never_slower(phases):
-    assert pipelined_day_cost(phases) <= unpipelined_day_cost(phases)
+    # The two schedules fold the same terms in different association
+    # orders, so mathematical equality (e.g. every max() won by the online
+    # phase) can land a few ulps apart — compare with an FP tolerance.
+    pipelined = pipelined_day_cost(phases)
+    unpipelined = unpipelined_day_cost(phases)
+    assert pipelined <= unpipelined or math.isclose(
+        pipelined, unpipelined, rel_tol=1e-9
+    )
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,26 @@
+# staticcheck-fixture: path=src/repro/crypto/example_ok.py expect=clean
+"""Clean: CSPRNG fallback, secrets tokens, and delegated rng parameters."""
+import random
+import secrets
+
+
+def draw_label(rng=None):
+    rng = rng or random.SystemRandom()
+    return rng.getrandbits(128)
+
+
+def fresh_token():
+    return secrets.token_bytes(16)
+
+
+def delegate(values, rng=None):
+    return [draw_label(rng) for _ in values]
+
+
+class Pool:
+    def __init__(self, rng=None):
+        # Store-and-delegate: the consuming method owns the None fallback.
+        self._rng = rng
+
+    def next_label(self):
+        return draw_label(self._rng)

@@ -1,0 +1,7 @@
+# staticcheck-fixture: path=src/repro/net/example.py expect=csprng-default
+"""Violation: an rng parameter whose default *value* is a seedable Random."""
+import random
+
+
+def obfuscate(value, rng=random.Random(7)):
+    return value ^ rng.getrandbits(64)

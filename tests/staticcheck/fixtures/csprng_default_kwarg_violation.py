@@ -1,0 +1,7 @@
+# staticcheck-fixture: path=src/repro/planning/example.py expect=csprng-default
+"""Violation: a seedable Random injected at an rng= crypto seam (any module)."""
+import random
+
+
+def probe(scheme, circuit):
+    return scheme.garble(circuit, rng=random.Random(1))

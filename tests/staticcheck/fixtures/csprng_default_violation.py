@@ -1,0 +1,8 @@
+# staticcheck-fixture: path=src/repro/crypto/example.py expect=csprng-default
+"""Violation: a crypto module falling back to a seedable random.Random."""
+import random
+
+
+def draw_label(rng=None):
+    rng = rng or random.Random(99)
+    return rng.getrandbits(128)

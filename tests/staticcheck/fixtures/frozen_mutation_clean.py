@@ -1,0 +1,18 @@
+# staticcheck-fixture: path=src/repro/planning/example_ok.py expect=clean
+"""Clean: frozen instances evolve via dataclasses.replace; __post_init__ may
+use object.__setattr__ on self during construction."""
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    workers: int
+    depth: int
+    span: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "span", self.workers * self.depth)
+
+
+def widen(spec: ShardSpec, extra: int) -> ShardSpec:
+    return dataclasses.replace(spec, workers=spec.workers + extra)

@@ -1,0 +1,19 @@
+# staticcheck-fixture: path=src/repro/planning/example.py expect=frozen-mutation
+"""Violation: writing through a frozen dataclass instead of replacing it."""
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    workers: int
+    depth: int
+
+
+def widen(spec: ShardSpec, extra: int) -> ShardSpec:
+    spec.workers = spec.workers + extra
+    return spec
+
+
+def sneak(spec: ShardSpec, depth: int) -> ShardSpec:
+    object.__setattr__(spec, "depth", depth)
+    return spec

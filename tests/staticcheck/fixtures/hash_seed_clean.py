@@ -1,0 +1,11 @@
+# staticcheck-fixture: path=src/repro/analysis/example_ok.py expect=clean
+"""Clean: sorted() pins set order; hashlib replaces the builtin hash."""
+import hashlib
+
+
+def summarize(names):
+    order = sorted(set(names))
+    tag = hashlib.sha256("report".encode()).hexdigest()
+    for name in sorted({n.strip() for n in names}):
+        order.append(name)
+    return order, tag

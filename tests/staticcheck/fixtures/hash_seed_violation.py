@@ -1,0 +1,10 @@
+# staticcheck-fixture: path=src/repro/analysis/example.py expect=hash-seed-determinism
+"""Violation: report-layer code whose output depends on hash randomization."""
+
+
+def summarize(names):
+    order = list(set(names))
+    tag = hash("report")
+    for name in {n.strip() for n in names}:
+        order.append(name)
+    return order, tag

@@ -1,0 +1,23 @@
+# staticcheck-fixture: path=src/repro/runtime/example_ok.py expect=clean
+"""Clean: every shared mutation sits under the pool lock."""
+import threading
+
+
+class Refiller:
+    def __init__(self):
+        self.total_stocked = 0
+        self._stop = False
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def start(self):
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop:
+            with self._lock:
+                self.total_stocked += 1
+
+    def prefill(self, count):
+        with self._lock:
+            self.total_stocked += count

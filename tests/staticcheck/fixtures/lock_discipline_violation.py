@@ -1,0 +1,22 @@
+# staticcheck-fixture: path=src/repro/runtime/example.py expect=lock-discipline
+"""Violation: read-modify-write shared between a worker thread and the main
+thread with no lock — the PR 8 refiller bug class."""
+import threading
+
+
+class Refiller:
+    def __init__(self):
+        self.total_stocked = 0
+        self._stop = False
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def start(self):
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop:
+            self.total_stocked += 1
+
+    def prefill(self, count):
+        # Main-thread mutation of the same counter, also unguarded.
+        self.total_stocked += count

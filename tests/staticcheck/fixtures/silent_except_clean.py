@@ -1,0 +1,17 @@
+# staticcheck-fixture: path=src/repro/core/example_ok.py expect=clean
+"""Clean: narrow exception types, and broad catches that record or re-raise."""
+
+
+def lookup(table, key):
+    try:
+        return table[key]
+    except KeyError:
+        return None
+
+
+def guarded(step, incidents):
+    try:
+        step()
+    except Exception as exc:
+        incidents.record_incident("step-failed", exc)
+        raise

@@ -1,0 +1,9 @@
+# staticcheck-fixture: path=src/repro/core/example.py expect=silent-except
+"""Violation: a broad except that swallows the error without a trace."""
+
+
+def lookup(table, key):
+    try:
+        return table[key]
+    except Exception:
+        return None

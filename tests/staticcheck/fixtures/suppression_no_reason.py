@@ -1,0 +1,8 @@
+# staticcheck-fixture: path=src/repro/net/example_noreason.py expect=bad-suppression,wallclock-purity
+"""A suppression without a reason is rejected and does not suppress."""
+import time
+
+
+def charge(stats):
+    # staticcheck: ignore[wallclock-purity]
+    stats.add_time(time.perf_counter())

@@ -1,0 +1,7 @@
+# staticcheck-fixture: path=src/repro/net/example_unknown.py expect=bad-suppression
+"""A suppression naming a rule the registry does not know is rejected."""
+
+
+def charge(stats, model, size):
+    # staticcheck: ignore[no-such-rule] -- fixture: typo in the rule id
+    stats.add_time(model.message_cost(size))

@@ -1,0 +1,7 @@
+# staticcheck-fixture: path=src/repro/net/example_unused.py expect=unused-suppression
+"""A suppression whose rule never fires on its target line is itself flagged."""
+
+
+def charge(stats, model, size):
+    # staticcheck: ignore[wallclock-purity] -- fixture: nothing to suppress here
+    stats.add_time(model.message_cost(size))

@@ -1,0 +1,8 @@
+# staticcheck-fixture: path=src/repro/net/example_suppressed.py expect=clean
+"""Clean: a justified suppression silences the finding and is marked used."""
+import time
+
+
+def charge(stats):
+    # staticcheck: ignore[wallclock-purity] -- fixture: pretend this is a sanctioned telemetry read
+    stats.add_time(time.perf_counter())

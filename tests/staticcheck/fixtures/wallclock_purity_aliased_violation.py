@@ -1,0 +1,7 @@
+# staticcheck-fixture: path=src/repro/core/example.py expect=wallclock-purity
+"""Violation: aliased imports do not hide the wall-clock read."""
+from time import monotonic as now
+
+
+def charge(stats):
+    stats.add_time(now())

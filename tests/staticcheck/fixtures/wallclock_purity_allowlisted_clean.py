@@ -1,0 +1,7 @@
+# staticcheck-fixture: path=src/repro/runtime/runner.py expect=clean
+"""Clean: the runner's wall-seconds telemetry is on the allow-list."""
+import time
+
+
+def measure_wall():
+    return time.perf_counter()

@@ -1,0 +1,6 @@
+# staticcheck-fixture: path=src/repro/net/example_ok.py expect=clean
+"""Clean: simulated seconds come from the cost model, never the host clock."""
+
+
+def charge_window(stats, model, size):
+    stats.add_time(model.message_cost(size))

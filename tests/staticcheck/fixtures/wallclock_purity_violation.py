@@ -1,0 +1,7 @@
+# staticcheck-fixture: path=src/repro/net/example.py expect=wallclock-purity
+"""Violation: a wall-clock read inside a simulation-pure module."""
+import time
+
+
+def charge_window(stats):
+    stats.add_time(time.perf_counter())
